@@ -1,0 +1,166 @@
+// cebinae-bench regenerates every table and figure of the Cebinae paper's
+// evaluation (§5) and prints them in the paper's layout. The -scale flag
+// trades run length for fidelity: "full" reproduces the paper's 100-second
+// horizons; "quick" preserves the comparative shape in a fraction of the
+// time.
+//
+//	cebinae-bench -scale quick                 # everything, short runs
+//	cebinae-bench -scale full -only table2     # one experiment, paper length
+//	cebinae-bench -only fig7,fig12,table3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cebinae/experiments"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(scale experiments.Scale, w io.Writer)
+}
+
+func main() {
+	var (
+		scaleFlag = flag.String("scale", "quick", "quick | medium | full, or a fraction of the paper's horizon (e.g. 0.5)")
+		only      = flag.String("only", "", "comma list of experiment ids to run (default: all)")
+		outPath   = flag.String("o", "", "also write the report to this file")
+	)
+	flag.Parse()
+
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cebinae-bench:", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cebinae-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	all := []experiment{
+		{"fig1", "RTT unfairness time series (2 NewReno)", func(s experiments.Scale, w io.Writer) {
+			fmt.Fprint(w, experiments.Fig1(s).Render())
+		}},
+		{"table2", "25-configuration sweep × {FIFO, FQ, Cebinae}", func(s experiments.Scale, w io.Writer) {
+			rows := experiments.RunTable2(s, func(i int, row experiments.Table2Row) {
+				fmt.Fprintf(os.Stderr, "  table2 row %2d/25 done: %s\n", i+1, row.Config.Label)
+			})
+			fmt.Fprint(w, experiments.RenderTable2(rows))
+		}},
+		{"fig7", "16 Vegas vs 1 NewReno per-flow goodput", func(s experiments.Scale, w io.Writer) {
+			fmt.Fprint(w, experiments.Fig7(s).Render())
+		}},
+		{"fig8a", "128 NewReno vs 2 BBR goodput CDF", func(s experiments.Scale, w io.Writer) {
+			fmt.Fprint(w, experiments.Fig8a(s).Render())
+		}},
+		{"fig8b", "128 NewReno vs 4 Vegas goodput CDF", func(s experiments.Scale, w io.Writer) {
+			fmt.Fprint(w, experiments.Fig8b(s).Render())
+		}},
+		{"fig9", "RTT-asymmetry sweep (Cubic, 400 Mbps)", func(s experiments.Scale, w io.Writer) {
+			fmt.Fprint(w, experiments.RenderFig9(experiments.Fig9(s)))
+		}},
+		{"fig10", "JFI time series with flow arrivals", func(s experiments.Scale, w io.Writer) {
+			fmt.Fprint(w, experiments.Fig10(s).Render())
+		}},
+		{"fig11", "parking-lot multi-bottleneck vs ideal max-min", func(s experiments.Scale, w io.Writer) {
+			fmt.Fprint(w, experiments.Fig11(s).Render())
+		}},
+		{"fig12", "threshold sensitivity sweep", func(s experiments.Scale, w io.Writer) {
+			fmt.Fprint(w, experiments.Fig12(s).Render())
+		}},
+		{"table3", "Tofino resource usage model", func(s experiments.Scale, w io.Writer) {
+			fmt.Fprint(w, experiments.RenderTable3(experiments.Table3()))
+		}},
+		{"fig13", "heavy-hitter detection FPR/FNR", func(s experiments.Scale, w io.Writer) {
+			cfg := experiments.DefaultFig13Config(s)
+			fmt.Fprint(w, experiments.RenderFig13(experiments.Fig13a(cfg), experiments.Fig13b(cfg)))
+		}},
+		{"ext-churn", "[extension] short-flow FCT under churn", func(s experiments.Scale, w io.Writer) {
+			var rs []experiments.ExtChurnResult
+			for _, k := range []experiments.QdiscKind{experiments.FIFO, experiments.FQ, experiments.Cebinae} {
+				rs = append(rs, experiments.ExtChurn(k, s))
+			}
+			fmt.Fprint(w, experiments.RenderExtChurn(rs))
+		}},
+		{"ext-udp", "[extension] blind-UDP containment", func(s experiments.Scale, w io.Writer) {
+			var rs []experiments.ExtBlindUDPResult
+			for _, k := range []experiments.QdiscKind{experiments.FIFO, experiments.FQ, experiments.Cebinae} {
+				rs = append(rs, experiments.ExtBlindUDP(k, s))
+			}
+			fmt.Fprint(w, experiments.RenderExtBlindUDP(rs))
+		}},
+		{"ext-perflow", "[extension] §7 per-flow ⊤ ablation", func(s experiments.Scale, w io.Writer) {
+			fmt.Fprint(w, experiments.RenderExtPerFlow(experiments.ExtPerFlow(s)))
+		}},
+		{"ext-scalability", "[extension] Eq.1 scalability: AFQ vs Cebinae RTT sweep", func(s experiments.Scale, w io.Writer) {
+			fmt.Fprint(w, experiments.RenderExtScalability(experiments.ExtScalability(s)))
+		}},
+		{"ext-strawman", "[extension] §3.2 strawman vs Cebinae redistribution", func(s experiments.Scale, w io.Writer) {
+			var rs []experiments.ExtStrawmanResult
+			for _, k := range []experiments.QdiscKind{experiments.FIFO, experiments.Strawman, experiments.Cebinae} {
+				rs = append(rs, experiments.ExtStrawman(k, s))
+			}
+			fmt.Fprint(w, experiments.RenderExtStrawman(rs))
+		}},
+	}
+
+	selected := all
+	if *only != "" {
+		want := map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		selected = selected[:0]
+		for _, e := range all {
+			if want[e.id] {
+				selected = append(selected, e)
+			}
+		}
+		if len(selected) == 0 {
+			fmt.Fprintln(os.Stderr, "cebinae-bench: no experiments match", *only)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Fprintf(w, "Cebinae evaluation reproduction — scale %.2f of the paper's horizons\n", float64(scale))
+	fmt.Fprintf(w, "generated by cebinae-bench\n\n")
+	total := time.Now()
+	for _, e := range selected {
+		fmt.Fprintf(w, "==== %s — %s ====\n", e.id, e.desc)
+		start := time.Now()
+		e.run(scale, w)
+		fmt.Fprintf(w, "(%s in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Fprintf(w, "total wall time: %v\n", time.Since(total).Round(time.Millisecond))
+}
+
+func parseScale(s string) (experiments.Scale, error) {
+	switch s {
+	case "quick":
+		return experiments.Quick, nil
+	case "medium":
+		return experiments.Medium, nil
+	case "full":
+		return experiments.Full, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 || v > 1 {
+		return 0, fmt.Errorf("bad scale %q (want quick|medium|full or a fraction in (0,1])", s)
+	}
+	return experiments.Scale(v), nil
+}

@@ -1,0 +1,133 @@
+// cebinae-sim runs a single dumbbell scenario under a chosen bottleneck
+// discipline and prints per-flow goodputs, throughput, and JFI. It is the
+// ad-hoc exploration tool; cebinae-bench regenerates the paper's full
+// evaluation.
+//
+// Examples:
+//
+//	cebinae-sim -bw 100M -buffer 850 -flows newreno:16,cubic:1 -rtt 50ms -qdisc cebinae -duration 30s
+//	cebinae-sim -bw 1G -buffer 4200 -flows newreno:128,bbr:1 -rtt 50ms -qdisc fifo -duration 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cebinae/experiments"
+)
+
+func main() {
+	var (
+		bw       = flag.String("bw", "100M", "bottleneck bandwidth (e.g. 100M, 1G, 2.5G)")
+		buffer   = flag.Int("buffer", 850, "bottleneck buffer in MTUs (1500 B)")
+		flows    = flag.String("flows", "newreno:2", "comma list of cca:count groups (ccas: newreno cubic bic vegas bbr)")
+		rtt      = flag.String("rtt", "40ms", "comma list of per-group base RTTs (one value applies to all)")
+		qdisc    = flag.String("qdisc", "cebinae", "bottleneck discipline: fifo | fq | cebinae")
+		duration = flag.Duration("duration", 20*time.Second, "simulated duration")
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+		tau      = flag.Float64("tau", -1, "override Cebinae τ (fraction; -1 = default 0.01)")
+	)
+	flag.Parse()
+
+	bps, err := parseBW(*bw)
+	if err != nil {
+		fatal(err)
+	}
+	groups, err := parseGroups(*flows, *rtt)
+	if err != nil {
+		fatal(err)
+	}
+
+	s := experiments.Scenario{
+		Name:          "cli",
+		BottleneckBps: bps,
+		BufferBytes:   *buffer * 1500,
+		Groups:        groups,
+		Duration:      experiments.SimTime(duration.Nanoseconds()),
+		Qdisc:         experiments.QdiscKind(*qdisc),
+		Seed:          *seed,
+	}
+	switch s.Qdisc {
+	case experiments.FIFO, experiments.FQ, experiments.Cebinae:
+	default:
+		fatal(fmt.Errorf("unknown qdisc %q", *qdisc))
+	}
+	if *tau >= 0 && s.Qdisc == experiments.Cebinae {
+		p := experiments.DefaultCebinaeParams(s)
+		p.Tau = *tau
+		s.Params = &p
+	}
+
+	start := time.Now()
+	r := experiments.Run(s)
+	elapsed := time.Since(start)
+
+	fmt.Printf("%s bottleneck, %d MTU buffer, %s qdisc, %v simulated (%v wall, %d events)\n\n",
+		*bw, *buffer, *qdisc, *duration, elapsed.Round(time.Millisecond), r.Events)
+	fmt.Printf("%4s %-8s %8s | %12s\n", "flow", "cca", "rtt", "goodput[Mbps]")
+	for _, f := range r.Flows {
+		fmt.Printf("%4d %-8s %7.1fms | %12.2f\n", f.Index, f.CC, float64(f.RTT)/1e6, f.GoodputBps/1e6)
+	}
+	fmt.Printf("\nthroughput: %.2f Mbps | aggregate goodput: %.2f Mbps | JFI: %.3f\n",
+		r.ThroughputBps/1e6, r.GoodputBps/1e6, r.JFI)
+	if s.Qdisc == experiments.Cebinae {
+		st := r.CebStats
+		fmt.Printf("cebinae: %d rotations, %d recomputes, %d phase changes, %d delayed, %d LBF drops, %d buffer drops, %d ECN marks\n",
+			st.Rotations, st.Recomputes, st.PhaseChanges, st.Delayed, st.LBFDrops, st.BufferDrops, st.ECNMarked)
+	}
+}
+
+func parseBW(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1e9, strings.TrimSuffix(s, "G")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1e6, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1e3, strings.TrimSuffix(s, "K")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad bandwidth %q", s)
+	}
+	return v * mult, nil
+}
+
+func parseGroups(flows, rtts string) ([]experiments.FlowGroup, error) {
+	var groups []experiments.FlowGroup
+	for _, part := range strings.Split(flows, ",") {
+		cc, cnt, ok := strings.Cut(strings.TrimSpace(part), ":")
+		n := 1
+		if ok {
+			v, err := strconv.Atoi(cnt)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("bad flow group %q", part)
+			}
+			n = v
+		}
+		groups = append(groups, experiments.FlowGroup{CC: cc, Count: n})
+	}
+	rttParts := strings.Split(rtts, ",")
+	for i := range groups {
+		sel := rttParts[0]
+		if i < len(rttParts) {
+			sel = rttParts[i]
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(sel))
+		if err != nil {
+			return nil, fmt.Errorf("bad rtt %q", sel)
+		}
+		groups[i].RTT = experiments.SimTime(d.Nanoseconds())
+	}
+	return groups, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cebinae-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+// cebinae-trace generates synthetic backbone traces (the Fig. 13 input) and
+// evaluates heavy-hitter cache geometries against them: flow statistics,
+// skew, and ⊤-detection FPR/FNR for a chosen stages × slots × interval
+// point. Use it to size the cache for a deployment's flow churn.
+//
+// Examples:
+//
+//	cebinae-trace -stats                         # trace shape only
+//	cebinae-trace -stages 2 -slots 2048 -interval 50ms -trials 20
+//	cebinae-trace -flows-per-min 1e6 -duration 2s -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cebinae/internal/hhcache"
+	"cebinae/internal/packet"
+	"cebinae/internal/sim"
+	"cebinae/internal/trace"
+)
+
+func main() {
+	var (
+		flowsPerMin = flag.Float64("flows-per-min", 420000, "Poisson flow arrival rate")
+		duration    = flag.Duration("duration", time.Second, "trace duration")
+		linkBps     = flag.Float64("link-gbps", 10, "modelled link rate in Gbit/s")
+		alpha       = flag.Float64("alpha", 1.2, "Pareto tail index of flow sizes")
+		seed        = flag.Uint64("seed", 1, "base seed")
+		statsOnly   = flag.Bool("stats", false, "print trace statistics and exit")
+
+		stages   = flag.Int("stages", 2, "cache stages")
+		slots    = flag.Int("slots", 2048, "cache slots per stage (power of two)")
+		interval = flag.Duration("interval", 100*time.Millisecond, "poll round interval")
+		trials   = flag.Int("trials", 10, "independent trials (seeds)")
+		deltaF   = flag.Float64("deltaf", 0.01, "⊤ threshold δf")
+	)
+	flag.Parse()
+
+	cfg := trace.DefaultConfig()
+	cfg.FlowsPerMinute = *flowsPerMin
+	cfg.Duration = sim.Duration(*duration)
+	cfg.LinkBps = *linkBps * 1e9
+	cfg.ParetoAlpha = *alpha
+	cfg.Seed = *seed
+
+	pkts := trace.Generate(cfg)
+	agg := trace.Aggregate(pkts, 0, cfg.Duration)
+	var totalBytes int64
+	for _, fc := range agg {
+		totalBytes += fc.Bytes
+	}
+	fmt.Printf("trace: %d packets, %d flows, %.2f MB over %v (%.2f Gbps offered)\n",
+		len(pkts), len(agg), float64(totalBytes)/1e6, *duration,
+		float64(totalBytes)*8/duration.Seconds()/1e9)
+	if len(agg) > 0 {
+		top10 := int64(0)
+		n10 := len(agg) / 10
+		if n10 == 0 {
+			n10 = 1
+		}
+		for _, fc := range agg[:n10] {
+			top10 += fc.Bytes
+		}
+		fmt.Printf("skew: top-10%% of flows carry %.1f%% of bytes; max flow %.2f MB\n",
+			100*float64(top10)/float64(totalBytes), float64(agg[0].Bytes)/1e6)
+	}
+	if *statsOnly {
+		return
+	}
+
+	if *slots&(*slots-1) != 0 || *slots <= 0 || *stages <= 0 {
+		fmt.Fprintln(os.Stderr, "cebinae-trace: slots must be a power of two, stages positive")
+		os.Exit(1)
+	}
+
+	var fpSum, fpDen, fnSum, fnDen float64
+	for trial := 0; trial < *trials; trial++ {
+		tc := cfg
+		tc.Seed = *seed + uint64(trial)
+		tp := trace.Generate(tc)
+		cache := hhcache.New(*stages, *slots)
+		ival := sim.Duration(*interval)
+		for from := sim.Time(0); from < tc.Duration; from += ival {
+			to := from + ival
+			truth := trace.Aggregate(tp, from, to)
+			if len(truth) == 0 {
+				continue
+			}
+			trueTop := map[packet.FlowKey]bool{}
+			for _, fc := range truth {
+				if float64(fc.Bytes) >= float64(truth[0].Bytes)*(1-*deltaF) {
+					trueTop[fc.Flow] = true
+				}
+			}
+			for _, p := range tp {
+				if p.At >= from && p.At < to {
+					cache.Observe(p.Flow, int64(p.Bytes))
+				}
+			}
+			entries := cache.Poll()
+			var cacheMax int64
+			for _, e := range entries {
+				if e.Bytes > cacheMax {
+					cacheMax = e.Bytes
+				}
+			}
+			detected := map[packet.FlowKey]bool{}
+			for _, e := range entries {
+				if float64(e.Bytes) >= float64(cacheMax)*(1-*deltaF) {
+					detected[e.Flow] = true
+				}
+			}
+			for f := range detected {
+				if !trueTop[f] {
+					fpSum++
+				}
+			}
+			for f := range trueTop {
+				if !detected[f] {
+					fnSum++
+				}
+			}
+			fpDen += float64(len(truth) - len(trueTop))
+			fnDen += float64(len(trueTop))
+		}
+	}
+	fpr, fnr := 0.0, 0.0
+	if fpDen > 0 {
+		fpr = fpSum / fpDen
+	}
+	if fnDen > 0 {
+		fnr = fnSum / fnDen
+	}
+	fmt.Printf("cache %d×%d @ %v over %d trials: FPR=%.6f FNR=%.4f\n",
+		*stages, *slots, *interval, *trials, fpr, fnr)
+}

@@ -1,0 +1,53 @@
+// Vegas starvation (paper Fig. 7): sixteen delay-based TCP Vegas flows
+// compete with one loss-based NewReno flow on a 100 Mbps bottleneck. Under
+// FIFO the NewReno flow fills the buffer and captures most of the link
+// while Vegas backs off; Cebinae detects the NewReno flow as bottlenecked
+// (⊤), taxes it, and lets the Vegas flows reclaim their share.
+//
+//	go run ./examples/vegas_starvation [-seconds 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"cebinae/experiments"
+)
+
+func main() {
+	seconds := flag.Int("seconds", 30, "simulated seconds per run")
+	flag.Parse()
+
+	groups := []experiments.FlowGroup{
+		{CC: "vegas", Count: 16, RTT: experiments.Millis(100)},
+		{CC: "newreno", Count: 1, RTT: experiments.Millis(100)},
+	}
+	base := experiments.Scenario{
+		BottleneckBps: 100e6,
+		BufferBytes:   850 * 1500,
+		Groups:        groups,
+		Duration:      experiments.Seconds(float64(*seconds)),
+		Seed:          7,
+	}
+
+	results := map[experiments.QdiscKind]experiments.Result{}
+	for _, kind := range []experiments.QdiscKind{experiments.FIFO, experiments.Cebinae} {
+		s := base
+		s.Name = "vegas_starvation/" + string(kind)
+		s.Qdisc = kind
+		results[kind] = experiments.Run(s)
+	}
+
+	fifo, ceb := results[experiments.FIFO], results[experiments.Cebinae]
+	fmt.Println("16 Vegas flows (0–15) vs 1 NewReno flow (16), 100 Mbps bottleneck")
+	fmt.Printf("%4s %-8s | %10s | %10s\n", "flow", "cc", "FIFO[Mbps]", "Ceb[Mbps]")
+	for i := range fifo.Flows {
+		fmt.Printf("%4d %-8s | %10.2f | %10.2f\n", i, fifo.Flows[i].CC,
+			fifo.Flows[i].GoodputBps/1e6, ceb.Flows[i].GoodputBps/1e6)
+	}
+	fmt.Printf("\nJFI: FIFO=%.3f  Cebinae=%.3f\n", fifo.JFI, ceb.JFI)
+	fmt.Printf("aggregate goodput: FIFO=%.1f Mbps  Cebinae=%.1f Mbps\n",
+		fifo.GoodputBps/1e6, ceb.GoodputBps/1e6)
+	fmt.Printf("Cebinae data plane: %d rotations, %d delayed, %d LBF drops, %d buffer drops\n",
+		ceb.CebStats.Rotations, ceb.CebStats.Delayed, ceb.CebStats.LBFDrops, ceb.CebStats.BufferDrops)
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteTable2CSV(t *testing.T) {
+	rows := []Table2Row{{
+		Config: Table2Config{Label: "x"},
+		Cells: map[QdiscKind]Table2Cell{
+			FIFO:    {ThroughputBps: 1e6, GoodputBps: 9e5, JFI: 0.5},
+			FQ:      {ThroughputBps: 2e6, GoodputBps: 1.8e6, JFI: 0.9},
+			Cebinae: {ThroughputBps: 3e6, GoodputBps: 2.7e6, JFI: 0.99},
+		},
+	}}
+	var b strings.Builder
+	if err := WriteTable2CSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected header + 3 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "config,qdisc") {
+		t.Fatalf("header wrong: %s", lines[0])
+	}
+	if !strings.Contains(out, "cebinae") || !strings.Contains(out, "0.99") {
+		t.Fatalf("data missing:\n%s", out)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteSeriesCSV(&b, Seconds(1), []string{"a", "b"}, [][]float64{{1, 2, 3}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected header + 3 rows, got %d", len(lines))
+	}
+	if lines[3] != "3,3," {
+		t.Fatalf("ragged series padding wrong: %q", lines[3])
+	}
+	if err := WriteSeriesCSV(&b, Seconds(1), []string{"a"}, nil); err == nil {
+		t.Fatal("mismatched names/series must error")
+	}
+}
+
+func TestWriteFlowsCSV(t *testing.T) {
+	r := Result{Flows: []FlowResult{{Index: 0, CC: "cubic", RTT: Millis(20), GoodputBps: 5e6}}}
+	var b strings.Builder
+	if err := WriteFlowsCSV(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "cubic,20,5") {
+		t.Fatalf("flow row wrong:\n%s", b.String())
+	}
+}
+
+func TestWriteFig13CSV(t *testing.T) {
+	pts := []Fig13Point{{Stages: 2, Slots: 2048, Interval: Millis(100), FPR: 0.0001, FNR: 0.05}}
+	var b strings.Builder
+	if err := WriteFig13CSV(&b, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "2,2048,100,0.0001,0.05") {
+		t.Fatalf("point row wrong:\n%s", b.String())
+	}
+}

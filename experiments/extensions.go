@@ -1,0 +1,326 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cebinae/internal/app"
+	"cebinae/internal/core"
+	"cebinae/internal/metrics"
+	"cebinae/internal/netem"
+	"cebinae/internal/packet"
+	"cebinae/internal/qdisc"
+	"cebinae/internal/sim"
+	"cebinae/internal/tcp"
+)
+
+// This file holds experiments beyond the paper's evaluation, exercising the
+// repository's extensions: short-flow protection under churn, blind-UDP
+// containment, and the §7 per-flow-⊤ isolation mode. They are clearly
+// labelled as extensions in reports.
+
+// ---------------------------------------------------------------------------
+// Extension 1 — short-flow completion times under churn: one long-lived
+// aggressive flow (classified ⊤) shares a bottleneck with a Poisson stream
+// of short transfers. Cebinae's headroom for ⊥ flows should cut the short
+// flows' completion times relative to FIFO.
+// ---------------------------------------------------------------------------
+
+// ExtChurnResult compares short-transfer completion times.
+type ExtChurnResult struct {
+	Kind        QdiscKind
+	Started     uint64
+	Completed   uint64
+	MeanFCTms   float64
+	P95FCTms    float64
+	LongGoodput float64 // bits/sec of the long-lived flow
+}
+
+// ExtChurn runs the scenario under one discipline.
+func ExtChurn(kind QdiscKind, scale Scale) ExtChurnResult {
+	dur := sim.Time(float64(scale) * 100e9)
+	if dur < Seconds(10) {
+		dur = Seconds(10)
+	}
+	eng := sim.NewEngine()
+	w := netem.NewNetwork(eng)
+	const rate = 100e6
+	buf := 850 * 1500
+
+	d := netem.BuildDumbbell(w, netem.DumbbellConfig{
+		FlowCount:       2, // host pair 0: long flow; host pair 1: churn
+		BottleneckBps:   rate,
+		BottleneckDelay: sim.Duration(100e3),
+		RTTs:            []sim.Time{ms(40), ms(40)},
+		BottleneckQdisc: func(dev *netem.Device) netem.Qdisc {
+			switch kind {
+			case FQ:
+				return qdisc.NewFQCoDel(eng, buf, 0, qdisc.DefaultCoDelParams())
+			case Cebinae:
+				cq := core.New(eng, rate, buf, core.DefaultParams(rate, buf, ms(40)))
+				cq.OnDrain = dev.Kick
+				return cq
+			default:
+				return qdisc.NewFIFO(buf)
+			}
+		},
+		DefaultQdisc: func() netem.Qdisc { return qdisc.NewFIFO(64 << 20) },
+	})
+
+	// Long-lived aggressive flow (Cubic).
+	longKey := packet.FlowKey{Src: d.Senders[0].ID, Dst: d.Receivers[0].ID, SrcPort: 1, DstPort: 2, Proto: packet.ProtoTCP}
+	cc, _ := tcp.NewCC("cubic")
+	tcp.NewConn(eng, d.Senders[0], tcp.Config{Key: longKey, CC: cc, MinRTO: Seconds(1)})
+	longRecv := tcp.NewReceiver(eng, d.Receivers[0], tcp.ReceiverConfig{Key: longKey})
+	longMeter := &metrics.FlowMeter{}
+	longRecv.GoodputAt = longMeter.Record
+
+	// Short-transfer churn: ~40 arrivals/s of mean 200 KB ⇒ ≈64 Mbps of
+	// offered short traffic.
+	churn := app.NewChurn(eng, d.Senders[1], d.Receivers[1], app.ChurnConfig{
+		ArrivalsPerSec: 40,
+		MeanFlowBytes:  200 << 10,
+		CC:             "newreno",
+		BasePort:       1000,
+		Seed:           11,
+		MinRTO:         Seconds(1),
+	})
+
+	eng.Run(dur)
+
+	res := ExtChurnResult{Kind: kind, Started: churn.Started, Completed: churn.Completed}
+	if len(churn.CompletionTimes) > 0 {
+		fcts := make([]float64, len(churn.CompletionTimes))
+		for i, ct := range churn.CompletionTimes {
+			fcts[i] = float64(ct) / 1e6 // ms
+		}
+		res.MeanFCTms = metrics.Mean(fcts)
+		res.P95FCTms = metrics.Percentile(fcts, 95)
+	}
+	res.LongGoodput = longMeter.RateOver(dur/5, dur) * 8
+	return res
+}
+
+// RenderExtChurn prints the comparison.
+func RenderExtChurn(results []ExtChurnResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — short-flow FCT under churn vs 1 long Cubic flow, 100 Mbps\n")
+	fmt.Fprintf(&b, "%8s | %7s %9s | %11s %11s | %12s\n", "qdisc", "started", "completed", "meanFCT[ms]", "p95FCT[ms]", "long[Mbps]")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%8s | %7d %9d | %11.1f %11.1f | %12.2f\n",
+			r.Kind, r.Started, r.Completed, r.MeanFCTms, r.P95FCTms, r.LongGoodput/1e6)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Extension 2 — blind-UDP containment: a non-congestion-controlled CBR
+// source at 80% of capacity against TCP flows. The paper notes blind flows
+// need admission control, but Cebinae should still tax the blaster and
+// preserve more TCP goodput than FIFO.
+// ---------------------------------------------------------------------------
+
+// ExtBlindUDPResult compares TCP aggregate goodput with a UDP blaster.
+type ExtBlindUDPResult struct {
+	Kind         QdiscKind
+	UDPDelivered float64 // bits/sec
+	TCPAggregate float64 // bits/sec
+	TCPFlowJFI   float64
+	CebinaeStats core.Stats
+}
+
+// ExtBlindUDP runs the scenario under one discipline.
+func ExtBlindUDP(kind QdiscKind, scale Scale) ExtBlindUDPResult {
+	dur := sim.Time(float64(scale) * 100e9)
+	if dur < Seconds(10) {
+		dur = Seconds(10)
+	}
+	eng := sim.NewEngine()
+	w := netem.NewNetwork(eng)
+	const rate = 100e6
+	buf := 850 * 1500
+	var cq *core.Qdisc
+
+	nTCP := 8
+	d := netem.BuildDumbbell(w, netem.DumbbellConfig{
+		FlowCount:       nTCP + 1,
+		BottleneckBps:   rate,
+		BottleneckDelay: sim.Duration(100e3),
+		RTTs:            []sim.Time{ms(40)},
+		BottleneckQdisc: func(dev *netem.Device) netem.Qdisc {
+			switch kind {
+			case FQ:
+				return qdisc.NewFQCoDel(eng, buf, 0, qdisc.DefaultCoDelParams())
+			case Cebinae:
+				cq = core.New(eng, rate, buf, core.DefaultParams(rate, buf, ms(40)))
+				cq.OnDrain = dev.Kick
+				return cq
+			default:
+				return qdisc.NewFIFO(buf)
+			}
+		},
+		DefaultQdisc: func() netem.Qdisc { return qdisc.NewFIFO(64 << 20) },
+	})
+
+	// UDP blaster on pair 0.
+	udpKey := packet.FlowKey{Src: d.Senders[0].ID, Dst: d.Receivers[0].ID, SrcPort: 9, DstPort: 9, Proto: packet.ProtoUDP}
+	udpMeter := &metrics.FlowMeter{}
+	d.Receivers[0].Register(udpKey, meterSink{udpMeter, eng})
+	app.NewCBR(eng, d.Senders[0], udpKey, 0.8*rate, 0)
+
+	// TCP flows on pairs 1..n.
+	meters := make([]*metrics.FlowMeter, nTCP)
+	for i := 0; i < nTCP; i++ {
+		key := packet.FlowKey{Src: d.Senders[i+1].ID, Dst: d.Receivers[i+1].ID, SrcPort: uint16(100 + i), DstPort: uint16(200 + i), Proto: packet.ProtoTCP}
+		cc, _ := tcp.NewCC("newreno")
+		tcp.NewConn(eng, d.Senders[i+1], tcp.Config{Key: key, CC: cc, Seed: uint64(i), MinRTO: Seconds(1)})
+		recv := tcp.NewReceiver(eng, d.Receivers[i+1], tcp.ReceiverConfig{Key: key})
+		m := &metrics.FlowMeter{}
+		recv.GoodputAt = m.Record
+		meters[i] = m
+	}
+
+	eng.Run(dur)
+
+	res := ExtBlindUDPResult{Kind: kind}
+	res.UDPDelivered = udpMeter.RateOver(dur/5, dur) * 8
+	rates := make([]float64, nTCP)
+	for i, m := range meters {
+		rates[i] = m.RateOver(dur/5, dur)
+		res.TCPAggregate += rates[i] * 8
+	}
+	res.TCPFlowJFI = metrics.JFI(rates)
+	if cq != nil {
+		res.CebinaeStats = cq.Stats
+	}
+	return res
+}
+
+// meterSink counts delivered payload bytes into a FlowMeter.
+type meterSink struct {
+	m   *metrics.FlowMeter
+	eng *sim.Engine
+}
+
+func (s meterSink) Deliver(p *packet.Packet) {
+	s.m.Record(s.eng.Now(), int64(p.PayloadSize))
+}
+
+// RenderExtBlindUDP prints the comparison.
+func RenderExtBlindUDP(results []ExtBlindUDPResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — blind 80 Mbps UDP blaster vs 8 NewReno flows, 100 Mbps\n")
+	fmt.Fprintf(&b, "%8s | %10s | %14s | %8s\n", "qdisc", "udp[Mbps]", "tcpSum[Mbps]", "tcpJFI")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%8s | %10.2f | %14.2f | %8.3f\n", r.Kind, r.UDPDelivered/1e6, r.TCPAggregate/1e6, r.TCPFlowJFI)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Extension 3 — §7 per-flow-⊤ ablation: two NewReno flows of very unequal
+// RTTs, both classified ⊤ (wide δf); compare the aggregate group against
+// the per-flow extension.
+// ---------------------------------------------------------------------------
+
+// ExtPerFlowResult compares the two ⊤-tracking modes.
+type ExtPerFlowResult struct {
+	AggregateJFI float64
+	PerFlowJFI   float64
+	AggregateGp  float64
+	PerFlowGp    float64
+}
+
+// ExtPerFlow runs the ablation.
+func ExtPerFlow(scale Scale) ExtPerFlowResult {
+	dur := sim.Time(float64(scale) * 100e9)
+	if dur < Seconds(20) {
+		dur = Seconds(20)
+	}
+	run := func(perFlow bool) (float64, float64) {
+		p := core.DefaultParams(50e6, 420*1500, ms(80))
+		p.DeltaFlow = 0.9
+		p.PerFlowTop = perFlow
+		r := Run(Scenario{
+			Name:          fmt.Sprintf("ext-perflow/%v", perFlow),
+			BottleneckBps: 50e6,
+			BufferBytes:   420 * 1500,
+			Groups: []FlowGroup{
+				{CC: "newreno", Count: 1, RTT: ms(10)},
+				{CC: "newreno", Count: 1, RTT: ms(80)},
+			},
+			Duration: dur,
+			Qdisc:    Cebinae,
+			Params:   &p,
+			Seed:     5,
+		})
+		return r.JFI, r.GoodputBps
+	}
+	var out ExtPerFlowResult
+	out.AggregateJFI, out.AggregateGp = run(false)
+	out.PerFlowJFI, out.PerFlowGp = run(true)
+	return out
+}
+
+// RenderExtPerFlow prints the ablation.
+func RenderExtPerFlow(r ExtPerFlowResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — §7 per-flow ⊤ ablation (2 NewReno, RTT 10 vs 80 ms, both ⊤)\n")
+	fmt.Fprintf(&b, "%10s | %6s | %14s\n", "mode", "JFI", "goodput[Mbps]")
+	fmt.Fprintf(&b, "%10s | %6.3f | %14.2f\n", "aggregate", r.AggregateJFI, r.AggregateGp/1e6)
+	fmt.Fprintf(&b, "%10s | %6.3f | %14.2f\n", "per-flow", r.PerFlowJFI, r.PerFlowGp/1e6)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Extension 5 — the §3.2 strawman comparison: a Cubic incumbent converges
+// alone for 10 s, then four Vegas flows join. The token-bucket strawman
+// freezes the unfair allocation; Cebinae redistributes.
+// ---------------------------------------------------------------------------
+
+// ExtStrawmanResult holds the incumbent and mean-latecomer tail goodputs
+// per discipline.
+type ExtStrawmanResult struct {
+	Kind         QdiscKind
+	IncumbentBps float64
+	LatecomerBps float64 // mean across the four Vegas flows
+	OverallJFI   float64
+}
+
+// ExtStrawman runs the scenario under one discipline.
+func ExtStrawman(kind QdiscKind, scale Scale) ExtStrawmanResult {
+	dur := sim.Time(float64(scale) * 100e9)
+	if dur < Seconds(30) {
+		dur = Seconds(30)
+	}
+	r := Run(Scenario{
+		Name:          fmt.Sprintf("ext-strawman/%s", kind),
+		BottleneckBps: 50e6,
+		BufferBytes:   420 * 1500,
+		Groups: []FlowGroup{
+			{CC: "cubic", Count: 1, RTT: ms(40)},
+			{CC: "vegas", Count: 4, RTT: ms(40), StartAt: Seconds(10)},
+		},
+		Duration:       dur,
+		Qdisc:          kind,
+		WarmupFraction: 0.65, // measure well after the latecomers arrive
+		Seed:           31,
+	})
+	out := ExtStrawmanResult{Kind: kind, IncumbentBps: r.Flows[0].GoodputBps, OverallJFI: r.JFI}
+	for _, f := range r.Flows[1:] {
+		out.LatecomerBps += f.GoodputBps
+	}
+	out.LatecomerBps /= 4
+	return out
+}
+
+// RenderExtStrawman prints the comparison.
+func RenderExtStrawman(results []ExtStrawmanResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — §3.2 strawman vs Cebinae: Cubic incumbent, 4 late Vegas, 50 Mbps\n")
+	fmt.Fprintf(&b, "%9s | %15s | %15s | %6s\n", "qdisc", "incumbent[Mbps]", "latecomer[Mbps]", "JFI")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%9s | %15.2f | %15.2f | %6.3f\n", r.Kind, r.IncumbentBps/1e6, r.LatecomerBps/1e6, r.OverallJFI)
+	}
+	return b.String()
+}

@@ -1,0 +1,289 @@
+// Package experiments reproduces every table and figure of the Cebinae
+// paper's evaluation (§5): a generic single-bottleneck scenario runner
+// (Table 2, Figs. 1, 7, 8, 9, 10, 12), a parking-lot multi-bottleneck
+// runner (Fig. 11), the heavy-hitter accuracy harness (Fig. 13), and the
+// Tofino resource model (Table 3). Each experiment has a builder returning
+// structured results plus a text renderer that prints the same rows/series
+// the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"cebinae/internal/core"
+	"cebinae/internal/metrics"
+	"cebinae/internal/netem"
+	"cebinae/internal/packet"
+	"cebinae/internal/qdisc"
+	"cebinae/internal/sim"
+	"cebinae/internal/tcp"
+)
+
+// SimTime aliases the simulator's nanosecond timestamp so external callers
+// (examples, tools) can build scenario durations and RTTs without importing
+// internal packages.
+type SimTime = sim.Time
+
+// CebinaeParams aliases the mechanism's Table-1 parameter set.
+type CebinaeParams = core.Params
+
+// DefaultCebinaeParams derives default Cebinae parameters for a scenario's
+// bottleneck (capacity, buffer, and maximum group RTT).
+func DefaultCebinaeParams(s Scenario) CebinaeParams {
+	return core.DefaultParams(s.BottleneckBps, s.BufferBytes, maxRTT(s.Groups))
+}
+
+// Millis builds a SimTime from milliseconds.
+func Millis(v float64) SimTime { return SimTime(v * 1e6) }
+
+// Seconds builds a SimTime from seconds.
+func Seconds(v float64) SimTime { return SimTime(v * 1e9) }
+
+// QdiscKind selects the bottleneck discipline under test.
+type QdiscKind string
+
+const (
+	FIFO     QdiscKind = "fifo"
+	FQ       QdiscKind = "fq"       // FQ-CoDel with ideal per-flow queues
+	AFQ      QdiscKind = "afq"      // calendar-queue approximate fair queueing (NSDI '18)
+	PCQ      QdiscKind = "pcq"      // programmable calendar queues (NSDI '20): squash, don't drop
+	Strawman QdiscKind = "strawman" // the §3.2 token-bucket freezer
+	Cebinae  QdiscKind = "cebinae"  // the paper's mechanism
+)
+
+// Scale trades run length for fidelity. The paper's runs are 100 s; the
+// quick scale shortens them so the full suite fits in a test/bench budget
+// while preserving comparative shape.
+type Scale float64
+
+const (
+	Quick  Scale = 0.08 // 8 s horizon
+	Medium Scale = 0.3  // 30 s
+	Full   Scale = 1.0  // paper-length (100 s)
+)
+
+// FlowGroup declares a homogeneous group of flows in a scenario.
+type FlowGroup struct {
+	CC    string
+	Count int
+	// RTT is the group's base round-trip time.
+	RTT sim.Time
+	// StartAt optionally delays the group's flows (Fig. 10 arrivals).
+	StartAt sim.Time
+}
+
+// Scenario is a single-bottleneck (dumbbell) experiment configuration.
+type Scenario struct {
+	Name          string
+	BottleneckBps float64
+	BufferBytes   int
+	Groups        []FlowGroup
+	Duration      sim.Time
+	Qdisc         QdiscKind
+	// Params overrides Cebinae's parameters (nil = DefaultParams).
+	Params *core.Params
+	// MinRTO clamps each sender's retransmission timer. The default (0)
+	// selects 1 s — the RFC 6298 minimum NS-3 uses, matching the paper's
+	// simulations; Linux-like stacks would use 200 ms.
+	MinRTO SimTime
+	// AFQQueues / AFQBpR configure the AFQ baseline's calendar geometry
+	// (defaults: 32 queues, 12.8 kB per round — a fixed hardware budget).
+	AFQQueues int
+	AFQBpR    int64
+	// WarmupFraction of the run is excluded from averaged metrics
+	// (default 1/5).
+	WarmupFraction float64
+	Seed           uint64
+	// SampleInterval enables time-series sampling when non-zero.
+	SampleInterval sim.Time
+}
+
+// FlowResult is one flow's measured outcome.
+type FlowResult struct {
+	Index      int
+	CC         string
+	RTT        sim.Time
+	GoodputBps float64
+	// Series is the per-interval goodput (bytes/sec) when sampling is on.
+	Series []float64
+}
+
+// Result aggregates a scenario run.
+type Result struct {
+	Scenario      Scenario
+	Flows         []FlowResult
+	ThroughputBps float64 // bottleneck wire throughput (bits/sec)
+	GoodputBps    float64 // aggregate application goodput (bits/sec)
+	JFI           float64
+	// JFISeries is the per-interval JFI over flows active in the interval.
+	JFISeries []float64
+	// StateSeries marks, per sample interval, Cebinae's phase: 'u' for
+	// unsaturated, 'S' for saturated (the background colouring of the
+	// paper's Fig. 1). Empty unless sampling a Cebinae run.
+	StateSeries []byte
+	// CebStats is populated for Cebinae runs.
+	CebStats core.Stats
+	Events   uint64
+}
+
+func maxRTT(groups []FlowGroup) sim.Time {
+	var m sim.Time
+	for _, g := range groups {
+		if g.RTT > m {
+			m = g.RTT
+		}
+	}
+	return m
+}
+
+// buildQdisc constructs the bottleneck discipline for a scenario, binding
+// Cebinae's rotation un-gating to the device's transmitter.
+func buildQdisc(eng *sim.Engine, s Scenario, dev *netem.Device) (netem.Qdisc, *core.Qdisc) {
+	switch s.Qdisc {
+	case FQ:
+		return qdisc.NewFQCoDel(eng, s.BufferBytes, 0, qdisc.DefaultCoDelParams()), nil
+	case Strawman:
+		return core.NewStrawman(eng, s.BottleneckBps, s.BufferBytes, sim.Duration(100e6), 0.01), nil
+	case AFQ, PCQ:
+		nq, bpr := s.AFQQueues, s.AFQBpR
+		if nq == 0 {
+			nq = 32
+		}
+		if bpr == 0 {
+			bpr = 12800
+		}
+		if s.Qdisc == PCQ {
+			return qdisc.NewPCQ(nq, bpr, s.BufferBytes, 8192), nil
+		}
+		return qdisc.NewAFQ(nq, bpr, s.BufferBytes, 8192), nil
+	case Cebinae:
+		p := core.DefaultParams(s.BottleneckBps, s.BufferBytes, maxRTT(s.Groups))
+		if s.Params != nil {
+			p = *s.Params
+		}
+		cq := core.New(eng, s.BottleneckBps, s.BufferBytes, p)
+		cq.OnDrain = dev.Kick
+		return cq, cq
+	default:
+		return qdisc.NewFIFO(s.BufferBytes), nil
+	}
+}
+
+// Run executes a dumbbell scenario and gathers metrics.
+func Run(s Scenario) Result {
+	if s.WarmupFraction == 0 {
+		s.WarmupFraction = 0.2
+	}
+	if s.MinRTO == 0 {
+		s.MinRTO = Seconds(1)
+	}
+	eng := sim.NewEngine()
+	w := netem.NewNetwork(eng)
+
+	var flat []FlowGroup
+	for _, g := range s.Groups {
+		for i := 0; i < g.Count; i++ {
+			flat = append(flat, FlowGroup{CC: g.CC, Count: 1, RTT: g.RTT, StartAt: g.StartAt})
+		}
+	}
+	rtts := make([]sim.Time, len(flat))
+	for i, f := range flat {
+		rtts[i] = f.RTT
+	}
+
+	var cq *core.Qdisc
+	d := netem.BuildDumbbell(w, netem.DumbbellConfig{
+		FlowCount:       len(flat),
+		BottleneckBps:   s.BottleneckBps,
+		BottleneckDelay: sim.Duration(100e3),
+		RTTs:            rtts,
+		BottleneckQdisc: func(dev *netem.Device) netem.Qdisc {
+			q, c := buildQdisc(eng, s, dev)
+			cq = c
+			return q
+		},
+		DefaultQdisc: func() netem.Qdisc { return qdisc.NewFIFO(64 << 20) },
+	})
+
+	meters := make([]*metrics.FlowMeter, len(flat))
+	for i, f := range flat {
+		cc, ok := tcp.NewCC(f.CC)
+		if !ok {
+			panic(fmt.Sprintf("experiments: unknown CC %q", f.CC))
+		}
+		key := packet.FlowKey{
+			Src: d.Senders[i].ID, Dst: d.Receivers[i].ID,
+			SrcPort: uint16(1000 + i), DstPort: uint16(5000 + i), Proto: packet.ProtoTCP,
+		}
+		tcp.NewConn(eng, d.Senders[i], tcp.Config{Key: key, CC: cc, StartAt: f.StartAt, Seed: s.Seed + uint64(i), MinRTO: s.MinRTO})
+		recv := tcp.NewReceiver(eng, d.Receivers[i], tcp.ReceiverConfig{Key: key})
+		m := &metrics.FlowMeter{}
+		recv.GoodputAt = m.Record
+		meters[i] = m
+	}
+
+	var states []byte
+	if s.SampleInterval > 0 && cq != nil {
+		var sample func()
+		sample = func() {
+			if cq.Saturated() {
+				states = append(states, 'S')
+			} else {
+				states = append(states, 'u')
+			}
+			eng.Schedule(s.SampleInterval, sample)
+		}
+		eng.Schedule(s.SampleInterval, sample)
+	}
+
+	eng.Run(s.Duration)
+
+	res := Result{Scenario: s, Events: eng.Processed, StateSeries: states}
+	warmup := sim.Time(float64(s.Duration) * s.WarmupFraction)
+	rates := make([]float64, len(flat))
+	for i, f := range flat {
+		from := warmup
+		if f.StartAt > from {
+			from = f.StartAt + (s.Duration-f.StartAt)/5
+		}
+		rate := meters[i].RateOver(from, s.Duration)
+		rates[i] = rate
+		fr := FlowResult{Index: i, CC: f.CC, RTT: f.RTT, GoodputBps: rate * 8}
+		if s.SampleInterval > 0 {
+			fr.Series = meters[i].Series(s.SampleInterval, s.Duration)
+		}
+		res.Flows = append(res.Flows, fr)
+		res.GoodputBps += rate * 8
+	}
+	res.JFI = metrics.JFI(rates)
+	res.ThroughputBps = float64(d.Bottleneck.Stats.TxBytes) * 8 / s.Duration.Seconds()
+	if cq != nil {
+		res.CebStats = cq.Stats
+	}
+	if s.SampleInterval > 0 {
+		n := int((s.Duration + s.SampleInterval - 1) / s.SampleInterval)
+		for k := 0; k < n; k++ {
+			var active []float64
+			t0 := sim.Time(k) * s.SampleInterval
+			for i, f := range flat {
+				if f.StartAt <= t0 {
+					active = append(active, res.Flows[i].Series[k])
+				}
+			}
+			res.JFISeries = append(res.JFISeries, metrics.JFI(active))
+		}
+	}
+	return res
+}
+
+// SortedGoodputs returns the flows' goodputs (bits/sec) ascending — CDF
+// material for Fig. 8.
+func (r Result) SortedGoodputs() []float64 {
+	out := make([]float64, len(r.Flows))
+	for i, f := range r.Flows {
+		out[i] = f.GoodputBps
+	}
+	sort.Float64s(out)
+	return out
+}

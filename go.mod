@@ -1,0 +1,3 @@
+module cebinae
+
+go 1.22

@@ -1,0 +1,217 @@
+// Package app provides non-TCP traffic applications for experiments: blind
+// constant-bit-rate (UDP-like) sources, on-off bursty sources, and a
+// Poisson flow-churn workload of finite TCP transfers. The paper's
+// discussion motivates each: blind flows that ignore congestion signals
+// (§4, "a blind UDP flow…"), bursty senders that stress the LBF's virtual
+// pacing, and the high-churn conditions of backbone links (§5.5).
+package app
+
+import (
+	"cebinae/internal/netem"
+	"cebinae/internal/packet"
+	"cebinae/internal/sim"
+	"cebinae/internal/tcp"
+)
+
+// CBR is a blind constant-bit-rate source: fixed-size packets at a fixed
+// rate, no congestion response (a UDP blaster).
+type CBR struct {
+	eng  *sim.Engine
+	node *netem.Node
+	key  packet.FlowKey
+
+	// RateBps is the emission rate in bits/second.
+	RateBps float64
+	// PacketBytes is the wire size per packet (default 1500).
+	PacketBytes int
+	// ECN marks emitted packets ECT.
+	ECN bool
+
+	Sent    uint64
+	stopped bool
+	event   *sim.Event
+}
+
+// NewCBR creates and starts the source at startAt.
+func NewCBR(eng *sim.Engine, node *netem.Node, key packet.FlowKey, rateBps float64, startAt sim.Time) *CBR {
+	c := &CBR{eng: eng, node: node, key: key, RateBps: rateBps, PacketBytes: 1500}
+	eng.At(startAt, c.tick)
+	return c
+}
+
+func (c *CBR) tick() {
+	if c.stopped {
+		return
+	}
+	p := &packet.Packet{
+		Flow:        c.key,
+		Size:        int32(c.PacketBytes),
+		PayloadSize: int32(c.PacketBytes - packet.HeaderBytes),
+		SentAt:      c.eng.Now(),
+	}
+	if c.ECN {
+		p.ECN = packet.ECNECT
+	}
+	c.node.Inject(p)
+	c.Sent++
+	gap := sim.Time(float64(c.PacketBytes*8) / c.RateBps * 1e9)
+	c.event = c.eng.Schedule(gap, c.tick)
+}
+
+// Stop halts emission.
+func (c *CBR) Stop() {
+	c.stopped = true
+	c.eng.Cancel(c.event)
+}
+
+// OnOff is a two-state bursty source: during ON periods it emits at
+// RateBps, then idles. Period lengths are exponentially distributed.
+type OnOff struct {
+	eng  *sim.Engine
+	node *netem.Node
+	key  packet.FlowKey
+
+	RateBps     float64
+	PacketBytes int
+	MeanOn      sim.Time
+	MeanOff     sim.Time
+
+	rng     *sim.Rand
+	on      bool
+	stopped bool
+	Sent    uint64
+}
+
+// NewOnOff creates and starts the source (beginning with an OFF period so
+// starts de-synchronise across sources).
+func NewOnOff(eng *sim.Engine, node *netem.Node, key packet.FlowKey, rateBps float64, meanOn, meanOff sim.Time, seed uint64) *OnOff {
+	o := &OnOff{
+		eng: eng, node: node, key: key,
+		RateBps: rateBps, PacketBytes: 1500,
+		MeanOn: meanOn, MeanOff: meanOff,
+		rng: sim.NewRand(seed ^ key.Hash(0x0F0F)),
+	}
+	eng.Schedule(o.expDur(meanOff), o.switchState)
+	return o
+}
+
+func (o *OnOff) expDur(mean sim.Time) sim.Time {
+	return sim.Time(o.rng.ExpFloat64() * float64(mean))
+}
+
+func (o *OnOff) switchState() {
+	if o.stopped {
+		return
+	}
+	o.on = !o.on
+	if o.on {
+		o.emit()
+		o.eng.Schedule(o.expDur(o.MeanOn), o.switchState)
+	} else {
+		o.eng.Schedule(o.expDur(o.MeanOff), o.switchState)
+	}
+}
+
+func (o *OnOff) emit() {
+	if o.stopped || !o.on {
+		return
+	}
+	o.node.Inject(&packet.Packet{
+		Flow:        o.key,
+		Size:        int32(o.PacketBytes),
+		PayloadSize: int32(o.PacketBytes - packet.HeaderBytes),
+		SentAt:      o.eng.Now(),
+	})
+	o.Sent++
+	o.eng.Schedule(sim.Time(float64(o.PacketBytes*8)/o.RateBps*1e9), o.emit)
+}
+
+// Stop halts emission.
+func (o *OnOff) Stop() { o.stopped = true }
+
+// ChurnConfig parameterises a Poisson workload of finite TCP transfers
+// between a sender and receiver node pair.
+type ChurnConfig struct {
+	// ArrivalsPerSec is the Poisson flow arrival rate.
+	ArrivalsPerSec float64
+	// MeanFlowBytes is the mean of the exponential flow-size distribution.
+	MeanFlowBytes int64
+	// CC names the congestion control algorithm for every transfer.
+	CC string
+	// BasePort numbers the flows (incrementing destination ports).
+	BasePort uint16
+	Seed     uint64
+	// MinRTO for the transfers (0 = transport default).
+	MinRTO sim.Time
+}
+
+// Churn drives finite TCP transfers with Poisson arrivals between src and
+// dst, tracking completions.
+type Churn struct {
+	eng  *sim.Engine
+	src  *netem.Node
+	dst  *netem.Node
+	cfg  ChurnConfig
+	rng  *sim.Rand
+	next uint16
+
+	Started   uint64
+	Completed uint64
+	// CompletionTimes collects per-flow transfer durations.
+	CompletionTimes []sim.Time
+	stopped         bool
+}
+
+// NewChurn creates and starts the workload.
+func NewChurn(eng *sim.Engine, src, dst *netem.Node, cfg ChurnConfig) *Churn {
+	if cfg.MeanFlowBytes <= 0 {
+		cfg.MeanFlowBytes = 100 << 10
+	}
+	if cfg.CC == "" {
+		cfg.CC = "newreno"
+	}
+	c := &Churn{eng: eng, src: src, dst: dst, cfg: cfg, rng: sim.NewRand(cfg.Seed + 1), next: cfg.BasePort}
+	c.scheduleNext()
+	return c
+}
+
+func (c *Churn) scheduleNext() {
+	if c.stopped || c.cfg.ArrivalsPerSec <= 0 {
+		return
+	}
+	gap := sim.Time(c.rng.ExpFloat64() / c.cfg.ArrivalsPerSec * 1e9)
+	c.eng.Schedule(gap, func() {
+		c.startFlow()
+		c.scheduleNext()
+	})
+}
+
+func (c *Churn) startFlow() {
+	if c.stopped {
+		return
+	}
+	size := int64(c.rng.ExpFloat64() * float64(c.cfg.MeanFlowBytes))
+	if size < 1448 {
+		size = 1448
+	}
+	key := packet.FlowKey{Src: c.src.ID, Dst: c.dst.ID, SrcPort: c.next, DstPort: c.next + 1, Proto: packet.ProtoTCP}
+	c.next += 2
+	cc, ok := tcp.NewCC(c.cfg.CC)
+	if !ok {
+		panic("app: unknown CC " + c.cfg.CC)
+	}
+	start := c.eng.Now()
+	conn := tcp.NewConn(c.eng, c.src, tcp.Config{
+		Key: key, CC: cc, DataLimit: size,
+		Seed: c.cfg.Seed + uint64(c.next), MinRTO: c.cfg.MinRTO,
+	})
+	tcp.NewReceiver(c.eng, c.dst, tcp.ReceiverConfig{Key: key})
+	c.Started++
+	conn.OnFinish = func() {
+		c.Completed++
+		c.CompletionTimes = append(c.CompletionTimes, c.eng.Now()-start)
+	}
+}
+
+// Stop halts new arrivals (in-flight transfers continue).
+func (c *Churn) Stop() { c.stopped = true }

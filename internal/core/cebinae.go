@@ -1,0 +1,485 @@
+package core
+
+import (
+	"fmt"
+
+	"cebinae/internal/hhcache"
+	"cebinae/internal/packet"
+	"cebinae/internal/sim"
+)
+
+// Flow groups: the LBF tracks exactly two (paper §4.3) — unbottlenecked (⊥)
+// and bottlenecked (⊤).
+const (
+	groupBottom = 0 // ⊥
+	groupTop    = 1 // ⊤
+	numGroups   = 2
+)
+
+// Stats aggregates Cebinae data-plane and control-plane counters.
+type Stats struct {
+	Enqueued      uint64
+	BufferDrops   uint64 // physical buffer exhaustion
+	LBFDrops      uint64 // past-tail drops (rate enforcement)
+	Delayed       uint64 // packets scheduled into ¬headq
+	ECNMarked     uint64
+	Rotations     uint64
+	Recomputes    uint64
+	PhaseChanges  uint64
+	SaturatedTime sim.Time // cumulative time spent in the saturated phase
+	TxPackets     uint64
+	TxBytes       uint64
+}
+
+// Qdisc is Cebinae's per-port data plane plus its control-plane agent,
+// packaged as a netem-compatible queue discipline. One Qdisc guards one
+// egress port (device).
+type Qdisc struct {
+	eng         *sim.Engine
+	params      Params
+	capacityBps float64 // link rate, bits/second
+	bufferBytes int
+
+	// Two physical queues; headq indexes the high-priority one.
+	queues      [2]pktRing
+	headq       int
+	bytesQueued int
+
+	// LBF state (Fig. 5). Byte counters are float64 to carry fractional
+	// rate×time products exactly.
+	saturated     bool
+	baseRoundTime sim.Time
+	roundTime     sim.Time
+	groupBytes    [numGroups]float64
+	totalBytes    float64 // aggregate counter (phase-change filter, §4.3)
+	// qrate[q][g] is the allocation (bytes/second) of group g in physical
+	// queue q; a queue's rates are fixed while it drains.
+	qrate [2][numGroups]float64
+
+	// Bottlenecked-flow membership (the ⊤ match-action table).
+	topSet map[packet.FlowKey]bool
+	// topState holds per-⊤-flow banks/allowances when Params.PerFlowTop is
+	// enabled (§7 extension).
+	topState map[packet.FlowKey]*topFlowState
+
+	// Egress-pipeline accounting.
+	cache        *hhcache.Cache
+	portTxBytes  uint64
+	lastTxBytes  uint64 // snapshot at last recomputation
+	roundsSoFar  int
+	pendingRates *pendingConfig
+
+	// OnDrain, when set, is invoked after rotations (which can un-gate the
+	// future queue) so an idle device resumes transmission; wire it to the
+	// owning netem Device's Kick.
+	OnDrain func()
+
+	Stats Stats
+}
+
+// pendingConfig is the shadow copy the control plane computes during a
+// recomputation and applies at the next configuration window.
+type pendingConfig struct {
+	saturated bool
+	topSet    map[packet.FlowKey]bool
+	rates     [numGroups]float64 // bytes/second
+	topShare  float64            // ⊤ fraction of capacity (phase-entry split)
+	// flowRates carries per-⊤-flow allowances in PerFlowTop mode.
+	flowRates map[packet.FlowKey]float64
+}
+
+// New creates a Cebinae qdisc for a port of the given capacity and buffer
+// and starts its control-plane agent on eng. It panics on invalid Params
+// (use Params.Validate to check first).
+func New(eng *sim.Engine, capacityBps float64, bufferBytes int, params Params) *Qdisc {
+	if err := params.Validate(capacityBps, bufferBytes); err != nil {
+		panic(err)
+	}
+	q := &Qdisc{
+		eng:         eng,
+		params:      params,
+		capacityBps: capacityBps,
+		bufferBytes: bufferBytes,
+		topSet:      make(map[packet.FlowKey]bool),
+		topState:    make(map[packet.FlowKey]*topFlowState),
+		cache:       hhcache.New(params.CacheStages, params.CacheSlots),
+	}
+	capBytes := capacityBps / 8
+	for i := 0; i < 2; i++ {
+		q.qrate[i][groupBottom] = capBytes
+		q.qrate[i][groupTop] = capBytes
+	}
+	// Bootstrap the rotation clock: the first ROTATE packet sets the time
+	// origin (§4.3); here rotations land on multiples of dT.
+	q.baseRoundTime = eng.Now() & ^(params.DT - 1)
+	q.roundTime = q.baseRoundTime
+	q.scheduleRotation()
+	return q
+}
+
+// Params returns the configured parameters.
+func (q *Qdisc) Params() Params { return q.params }
+
+// Saturated reports the current phase.
+func (q *Qdisc) Saturated() bool { return q.saturated }
+
+// TopFlows returns a copy of the current bottlenecked (⊤) flow set.
+func (q *Qdisc) TopFlows() []packet.FlowKey {
+	out := make([]packet.FlowKey, 0, len(q.topSet))
+	for f := range q.topSet {
+		out = append(out, f)
+	}
+	return out
+}
+
+// scheduleRotation arms the next ROTATE at the next dT boundary.
+func (q *Qdisc) scheduleRotation() {
+	next := (q.eng.Now()/q.params.DT + 1) * q.params.DT
+	q.eng.At(next, q.rotate)
+}
+
+// rotate is the ROTATE packet handler (Fig. 5 lines 9–13): retire the
+// finished round's allowances, advance the round origin, and swap queue
+// priorities. The configuration window follows vdT+L later.
+func (q *Qdisc) rotate() {
+	dtSec := q.params.DT.Seconds()
+	last := q.qrate[q.headq]
+	for g := 0; g < numGroups; g++ {
+		q.groupBytes[g] -= last[g] * dtSec
+		if q.groupBytes[g] < 0 {
+			q.groupBytes[g] = 0
+		}
+	}
+	q.totalBytes -= (q.capacityBps / 8) * dtSec
+	if q.totalBytes < 0 {
+		q.totalBytes = 0
+	}
+	if q.params.PerFlowTop {
+		q.perFlowRotate(dtSec)
+	}
+	q.baseRoundTime += q.params.DT
+	if q.roundTime < q.baseRoundTime {
+		q.roundTime = q.baseRoundTime
+	}
+	q.headq ^= 1
+	q.Stats.Rotations++
+	q.roundsSoFar++
+
+	if q.saturated {
+		q.Stats.SaturatedTime += q.params.DT
+	}
+
+	recompute := q.roundsSoFar%q.params.P == 0
+	q.eng.Schedule(q.params.VDT+q.params.L, func() { q.configure(recompute) })
+	q.scheduleRotation()
+	if q.OnDrain != nil {
+		q.OnDrain()
+	}
+}
+
+// configure is the control-plane configuration window (Fig. 6, solid red
+// span): apply the shadow config computed at the previous recomputation,
+// then — every P rounds — poll the data plane and compute the next one.
+func (q *Qdisc) configure(recompute bool) {
+	if q.pendingRates != nil {
+		q.apply(q.pendingRates)
+		q.pendingRates = nil
+	}
+	if recompute {
+		q.pendingRates = q.recompute()
+	}
+	if q.OnDrain != nil {
+		q.OnDrain() // a phase change may have un-gated the future queue
+	}
+}
+
+// apply installs a shadow configuration: membership, the future queue's
+// rates, and phase changes (all within the single-queue window, so no
+// reordering — §4.3).
+func (q *Qdisc) apply(cfg *pendingConfig) {
+	wasSaturated := q.saturated
+	q.topSet = cfg.topSet
+	if q.params.PerFlowTop {
+		q.applyPerFlow(cfg.flowRates)
+	}
+	// Rates bind to the queue currently accumulating the *next* round.
+	q.qrate[1-q.headq] = cfg.rates
+	// The draining queue keeps serving at its fixed rates; on the very
+	// first configuration after a phase change both queues adopt the new
+	// rates (wholesale change, §4.3 "phase changes").
+	if cfg.saturated != wasSaturated {
+		q.qrate[q.headq] = cfg.rates
+		q.Stats.PhaseChanges++
+		q.saturated = cfg.saturated
+		if cfg.saturated {
+			// Entering saturation: split the aggregate counter between the
+			// groups proportionally to their allocations (§4.3).
+			q.groupBytes[groupTop] = q.totalBytes * cfg.topShare
+			q.groupBytes[groupBottom] = q.totalBytes * (1 - cfg.topShare)
+		}
+	}
+}
+
+// recompute is the periodic (every P rounds) control-plane computation of
+// Fig. 4: port saturation, ⊤ membership, and taxed rate allocations.
+func (q *Qdisc) recompute() *pendingConfig {
+	q.Stats.Recomputes++
+	interval := (q.params.DT * sim.Time(q.params.P)).Seconds()
+	capBytes := q.capacityBps / 8
+
+	txDelta := q.portTxBytes - q.lastTxBytes
+	q.lastTxBytes = q.portTxBytes
+	entries := q.cache.Poll()
+
+	utilisation := float64(txDelta) / (capBytes * interval)
+	cfg := &pendingConfig{topSet: make(map[packet.FlowKey]bool)}
+	debugRecompute(utilisation, len(entries), !(utilisation < 1-q.params.DeltaPort || len(entries) == 0))
+	if utilisation < 1-q.params.DeltaPort || len(entries) == 0 {
+		// Unsaturated: no flow is bottlenecked here; the single aggregate
+		// group passes at full capacity.
+		cfg.saturated = false
+		cfg.rates = [numGroups]float64{capBytes, capBytes}
+		cfg.topShare = 0
+		return cfg
+	}
+
+	var maxBytes int64
+	for _, e := range entries {
+		if e.Bytes > maxBytes {
+			maxBytes = e.Bytes
+		}
+	}
+	threshold := float64(maxBytes) * (1 - q.params.DeltaFlow)
+	var bottleneckBytes float64
+	cfg.flowRates = make(map[packet.FlowKey]float64)
+	for _, e := range entries {
+		if float64(e.Bytes) >= threshold {
+			cfg.topSet[e.Flow] = true
+			bottleneckBytes += float64(e.Bytes)
+			cfg.flowRates[e.Flow] = (1 - q.params.Tau) * float64(e.Bytes) / interval
+		}
+	}
+	bottleneckBytes *= 1 - q.params.Tau
+
+	topRate := bottleneckBytes / interval
+	if topRate > capBytes {
+		topRate = capBytes
+	}
+	botRate := capBytes - bottleneckBytes/interval
+	if botRate < 0 {
+		botRate = 0
+	}
+	cfg.saturated = true
+	cfg.rates = [numGroups]float64{groupBottom: botRate, groupTop: topRate}
+	cfg.topShare = topRate / capBytes
+	return cfg
+}
+
+// advanceVirtualRound implements Fig. 5 lines 15–16: quantise time into vdT
+// buckets, advancing the per-round clock.
+func (q *Qdisc) advanceVirtualRound(now sim.Time) {
+	if now >= q.roundTime+q.params.VDT {
+		q.roundTime = now & ^(q.params.VDT - 1)
+	}
+}
+
+// aggregateSize computes the paced allowance floor for group rates
+// (rHead, rTail) at the current position within the round (Fig. 5 lines
+// 17–22): credit accrues per virtual round instead of all at once, which
+// bounds catch-up bursts.
+func (q *Qdisc) aggregateSize(rHead, rTail float64) float64 {
+	rel := (q.roundTime - q.baseRoundTime) / q.params.VDT
+	perRound := q.params.DT / q.params.VDT
+	vdtSec := q.params.VDT.Seconds()
+	switch {
+	case rel < perRound: // within headq's round
+		return rHead * float64(rel) * vdtSec
+	case rel < 2*perRound: // spilled into ¬headq's round
+		return rHead*q.params.DT.Seconds() + float64(rel-perRound)*vdtSec*rTail
+	default:
+		// Should not happen (rotation keeps rel < 2·dT/vdT); saturate.
+		return rHead*q.params.DT.Seconds() + rTail*q.params.DT.Seconds()
+	}
+}
+
+// Enqueue classifies and admits/schedules/drops one packet (netem.Qdisc).
+func (q *Qdisc) Enqueue(p *packet.Packet) bool {
+	if q.bytesQueued+int(p.Size) > q.bufferBytes {
+		q.Stats.BufferDrops++
+		if DebugDropHook != nil {
+			DebugDropHook("buffer", p.Flow.SrcPort)
+		}
+		return false
+	}
+	q.advanceVirtualRound(q.eng.Now())
+	dtSec := q.params.DT.Seconds()
+	capBytes := q.capacityBps / 8
+
+	// Byte counters are charged only for *admitted* packets: a dropped
+	// packet consumes no allowance. (Charging before the decision, as a
+	// literal reading of Fig. 5 suggests, would let sustained overload pin
+	// the counter past the drop threshold indefinitely — nothing forwarded
+	// yet the bank never drains — collapsing the port into drop-all.)
+	aggAll := q.aggregateSize(capBytes, capBytes)
+	totalAfter := q.totalBytes
+	if totalAfter < aggAll {
+		totalAfter = aggAll
+	}
+	totalAfter += float64(p.Size)
+
+	if !q.saturated {
+		// Unsaturated phase: the aggregate filter at full capacity only
+		// trips on bursts beyond two full rounds, which the buffer bound
+		// (Eq. 2) makes unreachable before a physical drop; in practice
+		// this is pass-through into the current queue.
+		pastHead := totalAfter - capBytes*dtSec
+		target := q.headq
+		if pastHead > 0 {
+			if pastHead-capBytes*dtSec > 0 {
+				q.Stats.LBFDrops++
+				if DebugDropHook != nil {
+					DebugDropHook("lbf", p.Flow.SrcPort)
+				}
+				return false
+			}
+			target = 1 - q.headq
+			q.Stats.Delayed++
+		}
+		q.totalBytes = totalAfter
+		q.push(target, p)
+		return true
+	}
+
+	if q.params.PerFlowTop {
+		if q.topSet[p.Flow] {
+			return q.perFlowEnqueue(p, totalAfter)
+		}
+		return q.bottomEnqueue(p, totalAfter)
+	}
+
+	g := groupBottom
+	if q.topSet[p.Flow] {
+		g = groupTop
+	}
+	rHead := q.qrate[q.headq][g]
+	rTail := q.qrate[1-q.headq][g]
+	agg := q.aggregateSize(rHead, rTail)
+	groupAfter := q.groupBytes[g]
+	if groupAfter < agg {
+		groupAfter = agg
+	}
+	groupAfter += float64(p.Size)
+
+	pastHead := groupAfter - rHead*dtSec
+	pastTail := pastHead - rTail*dtSec
+	switch {
+	case pastHead <= 0:
+		q.totalBytes = totalAfter
+		q.groupBytes[g] = groupAfter
+		q.push(q.headq, p)
+	case pastTail <= 0:
+		// Delayed into the lower-priority queue; optionally mark ECN as
+		// the pre-loss congestion signal (Fig. 5 line 26).
+		if q.params.MarkECN && p.ECN == packet.ECNECT {
+			p.ECN = packet.ECNCE
+			q.Stats.ECNMarked++
+		}
+		q.Stats.Delayed++
+		q.totalBytes = totalAfter
+		q.groupBytes[g] = groupAfter
+		q.push(1-q.headq, p)
+	default:
+		q.Stats.LBFDrops++
+		if DebugDropHook != nil {
+			DebugDropHook("lbf", p.Flow.SrcPort)
+		}
+		return false
+	}
+	return true
+}
+
+func (q *Qdisc) push(target int, p *packet.Packet) {
+	q.queues[target].push(p)
+	q.bytesQueued += int(p.Size)
+	q.Stats.Enqueued++
+}
+
+// Dequeue serves the current round's queue and performs the egress-pipeline
+// accounting (port byte counter + heavy-hitter cache) on the transmitted
+// packet.
+//
+// While the port is saturated, ¬headq is strictly gated until the next
+// rotation: a packet scheduled into the future round must wait for that
+// round, which is what actually caps a ⊤ group's forwarded rate at its
+// allowance — and therefore what makes the τ tax compound across
+// recomputations (measured rate ≈ allowance ⇒ next allowance ≈ (1−τ)·
+// previous). A work-conserving dequeue would leak future-round packets
+// early whenever headq drains and the tax would stall after one step. The
+// idle time this introduces is the headroom Cebinae deliberately maintains
+// for ⊥ flows to grow into. When unsaturated the discipline is work-
+// conserving.
+func (q *Qdisc) Dequeue() *packet.Packet {
+	p := q.queues[q.headq].pop()
+	if p == nil && !q.saturated {
+		p = q.queues[1-q.headq].pop()
+	}
+	if p == nil {
+		return nil
+	}
+	q.bytesQueued -= int(p.Size)
+	q.portTxBytes += uint64(p.Size)
+	q.Stats.TxPackets++
+	q.Stats.TxBytes += uint64(p.Size)
+	q.cache.Observe(p.Flow, int64(p.Size))
+	return p
+}
+
+// Len returns the number of queued packets.
+func (q *Qdisc) Len() int { return q.queues[0].len() + q.queues[1].len() }
+
+// BytesQueued returns the buffered byte total.
+func (q *Qdisc) BytesQueued() int { return q.bytesQueued }
+
+func (q *Qdisc) String() string {
+	return fmt.Sprintf("cebinae{sat=%v top=%d head=%d qlen=%d}", q.saturated, len(q.topSet), q.headq, q.Len())
+}
+
+// pktRing is a growable FIFO ring of packets (duplicated from
+// internal/qdisc to keep the packages decoupled).
+type pktRing struct {
+	buf        []*packet.Packet
+	head, tail int
+	count      int
+}
+
+func (r *pktRing) len() int { return r.count }
+
+func (r *pktRing) push(p *packet.Packet) {
+	if r.count == len(r.buf) {
+		size := len(r.buf) * 2
+		if size == 0 {
+			size = 16
+		}
+		buf := make([]*packet.Packet, size)
+		for i := 0; i < r.count; i++ {
+			buf[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = buf
+		r.head = 0
+		r.tail = r.count
+	}
+	r.buf[r.tail] = p
+	r.tail = (r.tail + 1) % len(r.buf)
+	r.count++
+}
+
+func (r *pktRing) pop() *packet.Packet {
+	if r.count == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	return p
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cebinae/internal/sim"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	cases := []struct {
+		bps    float64
+		buffer int
+		rtt    sim.Time
+	}{
+		{100e6, 250 * 1500, sim.Duration(28e6)},
+		{100e6, 1700 * 1500, sim.Duration(200e6)},
+		{1e9, 8500 * 1500, sim.Duration(100e6)},
+		{10e9, 41667 * 1500, sim.Duration(50e6)},
+		{400e6, 3 << 20, sim.Duration(256e6)},
+	}
+	for _, c := range cases {
+		p := DefaultParams(c.bps, c.buffer, c.rtt)
+		if err := p.Validate(c.bps, c.buffer); err != nil {
+			t.Fatalf("DefaultParams(%v,%v,%v) invalid: %v", c.bps, c.buffer, c.rtt, err)
+		}
+		if p.DT*sim.Time(p.P) < c.rtt {
+			t.Fatalf("P·dT (%v) must cover maxRTT (%v)", p.DT*sim.Time(p.P), c.rtt)
+		}
+	}
+}
+
+// TestDefaultParamsProperty: for arbitrary reasonable inputs the derived
+// parameters always validate and satisfy Eq. 2.
+func TestDefaultParamsProperty(t *testing.T) {
+	f := func(bwMbps uint16, bufKB uint16, rttMS uint8) bool {
+		bps := float64(bwMbps%10000+1) * 1e6
+		buffer := (int(bufKB%60000) + 2) * 1024
+		rtt := sim.Duration(1e6) * sim.Time(rttMS%250+1)
+		p := DefaultParams(bps, buffer, rtt)
+		return p.Validate(bps, buffer) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := DefaultParams(100e6, 250*1500, sim.Duration(28e6))
+	check := func(name string, mutate func(p *Params)) {
+		p := base
+		mutate(&p)
+		if err := p.Validate(100e6, 250*1500); err == nil {
+			t.Fatalf("%s: expected validation error", name)
+		}
+	}
+	check("non-pow2 dT", func(p *Params) { p.DT = p.DT + 1 })
+	check("vdT >= dT", func(p *Params) { p.VDT = p.DT })
+	check("negative L", func(p *Params) { p.L = -1 })
+	check("L too large", func(p *Params) { p.L = p.DT })
+	check("zero deltaPort", func(p *Params) { p.DeltaPort = 0 })
+	check("tau > 1", func(p *Params) { p.Tau = 1.5 })
+	check("zero P", func(p *Params) { p.P = 0 })
+	check("dT below Eq.2", func(p *Params) { p.DT = 1 << 10; p.VDT = 1 << 8; p.L = 0 })
+	check("bad cache slots", func(p *Params) { p.CacheSlots = 100 })
+	check("no cache stages", func(p *Params) { p.CacheStages = 0 })
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New must panic on invalid params")
+		}
+	}()
+	p := DefaultParams(100e6, 250*1500, sim.Duration(28e6))
+	p.DT = 3 // not a power of two
+	New(sim.NewEngine(), 100e6, 250*1500, p)
+}

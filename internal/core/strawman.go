@@ -1,0 +1,152 @@
+package core
+
+import (
+	"cebinae/internal/hhcache"
+	"cebinae/internal/packet"
+	"cebinae/internal/sim"
+)
+
+// Strawman implements the naïve design §3.2 introduces to motivate
+// Cebinae: when a link saturates, impose a token-bucket rate limit on all
+// flows at the maximal observed size; release the limits when aggregate
+// demand drops below capacity. The paper gives two reasons it fails —
+// (1) it can freeze an *already unfair* allocation forever (the {1,1,6,1,1}
+// example: the starved flows have no mechanism to claim their share), and
+// (2) a plain policing filter mishandles loss-insensitive algorithms.
+// It is implemented here so the motivating comparison can be run (see the
+// TestStrawmanFreezesUnfairness experiment and §3.2 of the paper).
+type Strawman struct {
+	eng         *sim.Engine
+	capacityBps float64
+	bufferBytes int
+
+	// Interval is the detection/enforcement period; DeltaPort the
+	// saturation threshold (as Cebinae's δp).
+	Interval  sim.Time
+	DeltaPort float64
+
+	fifo        pktRing
+	bytesQueued int
+
+	limiting bool
+	// buckets holds per-flow token buckets while limiting; all buckets
+	// refill at the max flow's measured rate ("limits of the maximal
+	// size").
+	buckets    map[packet.FlowKey]*tokenBucket
+	limitRate  float64 // bytes/second granted to every flow
+	cache      *hhcache.Cache
+	txBytes    uint64
+	lastTx     uint64
+	lastRefill sim.Time
+
+	Stats Stats
+}
+
+type tokenBucket struct {
+	tokens float64
+	lastAt sim.Time
+}
+
+// NewStrawman builds the strawman qdisc and starts its control loop.
+func NewStrawman(eng *sim.Engine, capacityBps float64, bufferBytes int, interval sim.Time, deltaPort float64) *Strawman {
+	s := &Strawman{
+		eng:         eng,
+		capacityBps: capacityBps,
+		bufferBytes: bufferBytes,
+		Interval:    interval,
+		DeltaPort:   deltaPort,
+		buckets:     make(map[packet.FlowKey]*tokenBucket),
+		cache:       hhcache.New(2, 2048),
+	}
+	eng.Schedule(interval, s.control)
+	return s
+}
+
+// Limiting reports whether the token-bucket limits are engaged.
+func (s *Strawman) Limiting() bool { return s.limiting }
+
+func (s *Strawman) control() {
+	interval := s.Interval.Seconds()
+	capBytes := s.capacityBps / 8
+	delta := s.txBytes - s.lastTx
+	s.lastTx = s.txBytes
+	entries := s.cache.Poll()
+
+	utilisation := float64(delta) / (capBytes * interval)
+	if utilisation >= 1-s.DeltaPort && len(entries) > 0 {
+		// Saturated: limit every flow at the maximal flow's measured rate.
+		var maxBytes int64
+		for _, e := range entries {
+			if e.Bytes > maxBytes {
+				maxBytes = e.Bytes
+			}
+		}
+		if !s.limiting {
+			s.Stats.PhaseChanges++
+		}
+		s.limiting = true
+		s.limitRate = float64(maxBytes) / interval
+		s.lastRefill = s.eng.Now()
+	} else if utilisation < 1-s.DeltaPort && s.limiting {
+		// Demand dropped below capacity: release the limits.
+		s.limiting = false
+		s.buckets = make(map[packet.FlowKey]*tokenBucket)
+		s.Stats.PhaseChanges++
+	}
+	if s.limiting {
+		s.Stats.SaturatedTime += s.Interval
+	}
+	s.eng.Schedule(s.Interval, s.control)
+}
+
+// Enqueue polices against the per-flow bucket while limiting, then FIFOs.
+func (s *Strawman) Enqueue(p *packet.Packet) bool {
+	if s.bytesQueued+int(p.Size) > s.bufferBytes {
+		s.Stats.BufferDrops++
+		return false
+	}
+	if s.limiting && p.IsData() {
+		now := s.eng.Now()
+		b := s.buckets[p.Flow]
+		if b == nil {
+			// Burst allowance of one interval's worth.
+			b = &tokenBucket{tokens: s.limitRate * s.Interval.Seconds(), lastAt: now}
+			s.buckets[p.Flow] = b
+		}
+		// Lazy per-bucket refill.
+		b.tokens += s.limitRate * (now - b.lastAt).Seconds()
+		b.lastAt = now
+		if cap := s.limitRate * s.Interval.Seconds(); b.tokens > cap {
+			b.tokens = cap
+		}
+		if b.tokens < float64(p.Size) {
+			s.Stats.LBFDrops++ // policing drop
+			return false
+		}
+		b.tokens -= float64(p.Size)
+	}
+	s.fifo.push(p)
+	s.bytesQueued += int(p.Size)
+	s.Stats.Enqueued++
+	return true
+}
+
+// Dequeue serves FIFO and performs egress accounting.
+func (s *Strawman) Dequeue() *packet.Packet {
+	p := s.fifo.pop()
+	if p == nil {
+		return nil
+	}
+	s.bytesQueued -= int(p.Size)
+	s.txBytes += uint64(p.Size)
+	s.Stats.TxPackets++
+	s.Stats.TxBytes += uint64(p.Size)
+	s.cache.Observe(p.Flow, int64(p.Size))
+	return p
+}
+
+// Len returns the queued packet count.
+func (s *Strawman) Len() int { return s.fifo.len() }
+
+// BytesQueued returns the buffered byte total.
+func (s *Strawman) BytesQueued() int { return s.bytesQueued }

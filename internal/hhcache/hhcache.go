@@ -1,0 +1,137 @@
+// Package hhcache implements Cebinae's egress heavy-hitter flow cache
+// (paper §4.2): a multi-stage hash-mapped table adapted from HashPipe
+// (Sivaraman et al., SOSR '17) with *passive* memory management — no
+// data-plane evictions or recirculation. A packet hashes to one slot per
+// stage; it increments the byte counter if the slot is free or already owned
+// by its flow, otherwise it tries the next stage; if every stage's slot is
+// taken by other flows the packet simply goes uncounted (a tolerable false
+// negative). The control plane polls and resets the whole structure every
+// interval, letting active heavy hitters immediately reclaim slots.
+package hhcache
+
+import (
+	"cebinae/internal/packet"
+)
+
+// Entry is one polled cache slot: a flow and the bytes it was observed to
+// send during the interval.
+type Entry struct {
+	Flow  packet.FlowKey
+	Bytes int64
+}
+
+type slot struct {
+	used  bool
+	flow  packet.FlowKey
+	bytes int64
+}
+
+// Stats counts cache-level events since construction.
+type Stats struct {
+	Packets   uint64 // packets offered
+	Uncounted uint64 // packets that found no slot in any stage
+	Occupied  int    // slots in use at last poll
+}
+
+// Cache is the multi-stage flow table. It is sized in slots per stage; each
+// stage uses an independent hash seed.
+type Cache struct {
+	stages [][]slot
+	seeds  []uint64
+	mask   uint64
+
+	stats Stats
+}
+
+// New builds a cache with the given number of stages and slots per stage.
+// Slots must be a power of two (matching hardware register arrays).
+func New(stages, slots int) *Cache {
+	if stages <= 0 || slots <= 0 || slots&(slots-1) != 0 {
+		panic("hhcache: stages must be positive and slots a power of two")
+	}
+	c := &Cache{mask: uint64(slots - 1)}
+	for i := 0; i < stages; i++ {
+		c.stages = append(c.stages, make([]slot, slots))
+		// Fixed per-stage seeds keep runs reproducible.
+		c.seeds = append(c.seeds, 0x9E3779B97F4A7C15*uint64(i+1))
+	}
+	return c
+}
+
+// Stages returns the number of stages.
+func (c *Cache) Stages() int { return len(c.stages) }
+
+// SlotsPerStage returns the per-stage slot count.
+func (c *Cache) SlotsPerStage() int { return len(c.stages[0]) }
+
+// Observe records bytes for the flow, walking stages until a slot accepts
+// it. Returns false when the packet went uncounted.
+func (c *Cache) Observe(flow packet.FlowKey, bytes int64) bool {
+	c.stats.Packets++
+	for i := range c.stages {
+		idx := flow.Hash(c.seeds[i]) & c.mask
+		s := &c.stages[i][idx]
+		if !s.used {
+			s.used = true
+			s.flow = flow
+			s.bytes = bytes
+			return true
+		}
+		if s.flow == flow {
+			s.bytes += bytes
+			return true
+		}
+	}
+	c.stats.Uncounted++
+	return false
+}
+
+// Bytes returns the tracked byte count for a flow (summed across stages; a
+// flow normally owns at most one slot, but a poll-reset race in hardware
+// could split it — summing is the conservative read).
+func (c *Cache) Bytes(flow packet.FlowKey) int64 {
+	var total int64
+	for i := range c.stages {
+		idx := flow.Hash(c.seeds[i]) & c.mask
+		s := &c.stages[i][idx]
+		if s.used && s.flow == flow {
+			total += s.bytes
+		}
+	}
+	return total
+}
+
+// Poll returns every occupied entry (merging duplicate flows across stages)
+// and resets the cache — the control plane's serialisable poll-and-reset.
+func (c *Cache) Poll() []Entry {
+	byFlow := make(map[packet.FlowKey]int64)
+	occupied := 0
+	for i := range c.stages {
+		for j := range c.stages[i] {
+			s := &c.stages[i][j]
+			if s.used {
+				occupied++
+				byFlow[s.flow] += s.bytes
+				*s = slot{}
+			}
+		}
+	}
+	c.stats.Occupied = occupied
+	out := make([]Entry, 0, len(byFlow))
+	for f, b := range byFlow {
+		out = append(out, Entry{Flow: f, Bytes: b})
+	}
+	return out
+}
+
+// Reset clears all slots without reading them.
+func (c *Cache) Reset() {
+	for i := range c.stages {
+		for j := range c.stages[i] {
+			c.stages[i][j] = slot{}
+		}
+	}
+}
+
+// Stats returns cache counters.
+func (c *Cache) Stats() Stats { return c.stats }

@@ -1,0 +1,160 @@
+package hhcache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cebinae/internal/packet"
+	"cebinae/internal/sim"
+)
+
+func flow(i int) packet.FlowKey {
+	return packet.FlowKey{Src: packet.NodeID(i), Dst: packet.NodeID(i + 100000), SrcPort: uint16(i), DstPort: 80, Proto: packet.ProtoTCP}
+}
+
+func TestObserveAndBytes(t *testing.T) {
+	c := New(2, 64)
+	c.Observe(flow(1), 100)
+	c.Observe(flow(1), 50)
+	if got := c.Bytes(flow(1)); got != 150 {
+		t.Fatalf("Bytes = %d, want 150", got)
+	}
+	if got := c.Bytes(flow(2)); got != 0 {
+		t.Fatalf("untracked flow should read 0, got %d", got)
+	}
+}
+
+func TestPollResetsAndMerges(t *testing.T) {
+	c := New(2, 64)
+	c.Observe(flow(1), 100)
+	c.Observe(flow(2), 200)
+	entries := c.Poll()
+	if len(entries) != 2 {
+		t.Fatalf("expected 2 entries, got %d", len(entries))
+	}
+	byBytes := map[int64]bool{}
+	for _, e := range entries {
+		byBytes[e.Bytes] = true
+	}
+	if !byBytes[100] || !byBytes[200] {
+		t.Fatalf("entries wrong: %+v", entries)
+	}
+	if len(c.Poll()) != 0 {
+		t.Fatal("poll must reset the cache")
+	}
+	if c.Bytes(flow(1)) != 0 {
+		t.Fatal("post-poll reads must be zero")
+	}
+}
+
+func TestCollisionFallsToNextStage(t *testing.T) {
+	// With 1 slot per stage everything collides; a second stage must
+	// absorb the second flow.
+	c := New(2, 1)
+	if !c.Observe(flow(1), 10) {
+		t.Fatal("first flow must land")
+	}
+	if !c.Observe(flow(2), 20) {
+		t.Fatal("second flow must land in stage 2")
+	}
+	if c.Observe(flow(3), 30) {
+		t.Fatal("third flow must be uncounted (both slots taken)")
+	}
+	if c.Stats().Uncounted != 1 {
+		t.Fatalf("uncounted = %d", c.Stats().Uncounted)
+	}
+}
+
+// TestNoFalseInflation: a flow's polled byte count never exceeds what was
+// observed for it (no cross-flow pollution) — the paper's "never make
+// unfairness worse" requirement on the cache.
+func TestNoFalseInflation(t *testing.T) {
+	f := func(obs []uint8) bool {
+		c := New(2, 4) // tiny cache: heavy collisions
+		truth := map[int]int64{}
+		for _, o := range obs {
+			id := int(o % 16)
+			c.Observe(flow(id), int64(o)+1)
+			truth[id] += int64(o) + 1
+		}
+		_ = len(obs)
+		for _, e := range c.Poll() {
+			id := int(e.Flow.Src)
+			if e.Bytes > truth[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeavyHitterSurvivesCrowd(t *testing.T) {
+	// One elephant among 2000 mice in a 2×256 cache: the elephant sends
+	// 100× more packets, so it should (re)claim a slot and dominate the max.
+	c := New(2, 256)
+	rng := sim.NewRand(3)
+	for round := 0; round < 100; round++ {
+		c.Observe(flow(0), 1500)
+		for i := 0; i < 20; i++ {
+			c.Observe(flow(1+rng.Intn(2000)), 1500)
+		}
+	}
+	entries := c.Poll()
+	var max Entry
+	for _, e := range entries {
+		if e.Bytes > max.Bytes {
+			max = e
+		}
+	}
+	if max.Flow != flow(0) {
+		t.Fatalf("elephant not the max: %+v", max)
+	}
+}
+
+func TestPassiveManagementRecovery(t *testing.T) {
+	// Fill the cache with mice, poll, and verify the elephant claims a slot
+	// in the fresh interval (passive memory management §4.2).
+	c := New(1, 8)
+	for i := 0; i < 64; i++ {
+		c.Observe(flow(i+1000), 100)
+	}
+	c.Poll()
+	if !c.Observe(flow(0), 1500) {
+		t.Fatal("fresh interval must admit the elephant")
+	}
+	if c.Bytes(flow(0)) != 1500 {
+		t.Fatal("elephant bytes wrong after reclaim")
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	c := New(2, 16)
+	c.Observe(flow(1), 10)
+	c.Reset()
+	if len(c.Poll()) != 0 {
+		t.Fatal("reset must clear all slots")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	for _, bad := range []struct{ stages, slots int }{{0, 16}, {1, 0}, {1, 3}, {-1, 8}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d,%d) should panic", bad.stages, bad.slots)
+				}
+			}()
+			New(bad.stages, bad.slots)
+		}()
+	}
+}
+
+func TestGeometryAccessors(t *testing.T) {
+	c := New(4, 128)
+	if c.Stages() != 4 || c.SlotsPerStage() != 128 {
+		t.Fatalf("geometry accessors wrong: %d/%d", c.Stages(), c.SlotsPerStage())
+	}
+}

@@ -1,0 +1,243 @@
+package maxmin
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cebinae/internal/sim"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-6*math.Max(1, math.Abs(b)) }
+
+func TestSingleLinkEqualShare(t *testing.T) {
+	n := &Network{Capacity: []float64{100}, Routes: [][]int{{0}, {0}, {0}, {0}}}
+	rates, err := Allocate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rates {
+		if !almostEq(r, 25) {
+			t.Fatalf("equal share violated: %v", rates)
+		}
+	}
+	if err := VerifyDefinition2(n, rates, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemandBounded(t *testing.T) {
+	n := &Network{
+		Capacity: []float64{100},
+		Routes:   [][]int{{0}, {0}},
+		Demand:   []float64{10, 0},
+	}
+	rates, err := Allocate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(rates[0], 10) || !almostEq(rates[1], 90) {
+		t.Fatalf("demand-bounded allocation wrong: %v", rates)
+	}
+}
+
+// TestPaperFig2b reproduces the paper's Figure 2b example: ℓ-chain where
+// A (via ℓ1,ℓ3,ℓ4) shares with B (ℓ1,ℓ2) and C (ℓ2,ℓ5); capacities
+// ℓ1=20, ℓ2=10, ℓ3=20, ℓ4=20, ℓ5=2. Expected: C=2 (ℓ5), B=8 (ℓ2),
+// A=12 (ℓ1).
+func TestPaperFig2b(t *testing.T) {
+	n := &Network{
+		Capacity: []float64{20, 10, 20, 20, 2},
+		Routes: [][]int{
+			{0, 2, 3}, // A
+			{0, 1},    // B
+			{1, 4},    // C
+		},
+	}
+	rates, err := Allocate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(rates[2], 2) || !almostEq(rates[1], 8) || !almostEq(rates[0], 12) {
+		t.Fatalf("Fig.2b allocation wrong: %v", rates)
+	}
+	if err := VerifyDefinition2(n, rates, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParkingLotIdeal reproduces the Fig. 11 topology's ideal allocation:
+// 8 long flows over 3 links of 100, cross traffic 2/8/4 per hop. Water
+// filling: hop 2 (8 long + 8 cross = 16 flows) binds at 6.25; then Bic get
+// (100−50)/2 = 25 and Cubic (100−50)/4 = 12.5.
+func TestParkingLotIdeal(t *testing.T) {
+	n := &Network{Capacity: []float64{100, 100, 100}}
+	for i := 0; i < 8; i++ {
+		n.Routes = append(n.Routes, []int{0, 1, 2})
+	}
+	for i := 0; i < 2; i++ {
+		n.Routes = append(n.Routes, []int{0})
+	}
+	for i := 0; i < 8; i++ {
+		n.Routes = append(n.Routes, []int{1})
+	}
+	for i := 0; i < 4; i++ {
+		n.Routes = append(n.Routes, []int{2})
+	}
+	rates, err := Allocate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if !almostEq(rates[i], 6.25) {
+			t.Fatalf("long flow %d: %v", i, rates[i])
+		}
+	}
+	for i := 8; i < 10; i++ {
+		if !almostEq(rates[i], 25) {
+			t.Fatalf("bic flow %d: %v", i, rates[i])
+		}
+	}
+	for i := 10; i < 18; i++ {
+		if !almostEq(rates[i], 6.25) {
+			t.Fatalf("vegas flow %d: %v", i, rates[i])
+		}
+	}
+	for i := 18; i < 22; i++ {
+		if !almostEq(rates[i], 12.5) {
+			t.Fatalf("cubic flow %d: %v", i, rates[i])
+		}
+	}
+	if err := VerifyDefinition2(n, rates, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadInput(t *testing.T) {
+	cases := []*Network{
+		{Capacity: []float64{10}, Routes: [][]int{{1}}},                         // bad link index
+		{Capacity: []float64{10}, Routes: [][]int{{}}},                          // empty route
+		{Capacity: []float64{0}, Routes: [][]int{{0}}},                          // zero capacity
+		{Capacity: []float64{1}, Routes: [][]int{{0}}, Demand: []float64{1, 2}}, // shape
+	}
+	for i, n := range cases {
+		if _, err := Allocate(n); err == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+}
+
+// TestWaterFillingInvariants: for random single-path topologies the
+// allocation must (a) respect every capacity, (b) satisfy Definition 2,
+// (c) be Pareto-efficient in the sense that every link is either saturated
+// or all its flows are demand-bounded.
+func TestWaterFillingInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		nLinks := 1 + rng.Intn(6)
+		nFlows := 1 + rng.Intn(10)
+		n := &Network{}
+		for i := 0; i < nLinks; i++ {
+			n.Capacity = append(n.Capacity, 1+rng.Float64()*99)
+		}
+		for i := 0; i < nFlows; i++ {
+			hops := 1 + rng.Intn(nLinks)
+			perm := rng.Perm(nLinks)
+			n.Routes = append(n.Routes, perm[:hops])
+		}
+		rates, err := Allocate(n)
+		if err != nil {
+			return false
+		}
+		load := make([]float64, nLinks)
+		for fi, route := range n.Routes {
+			if rates[fi] < 0 {
+				return false
+			}
+			for _, l := range route {
+				load[l] += rates[fi]
+			}
+		}
+		for l := range load {
+			if load[l] > n.Capacity[l]*(1+1e-9) {
+				return false
+			}
+		}
+		return VerifyDefinition2(n, rates, 1e-6) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxMinUniqueDefinition1: perturbing any flow up in a verified
+// allocation must violate some capacity or require a smaller flow to give
+// way (spot-check of Definition 1 on the Fig. 2b example).
+func TestMaxMinUniqueDefinition1(t *testing.T) {
+	n := &Network{
+		Capacity: []float64{20, 10, 20, 20, 2},
+		Routes:   [][]int{{0, 2, 3}, {0, 1}, {1, 4}},
+	}
+	rates, _ := Allocate(n)
+	// Raising C (the smallest flow) is impossible without violating ℓ5.
+	load5 := rates[2]
+	if load5+0.001 <= 2 {
+		t.Fatalf("C should be pinned at ℓ5's capacity: %v", rates)
+	}
+}
+
+// TestWeightedSingleLink: weights 1:3 split a single link 25/75 (the WFQ
+// generalisation of footnote 2).
+func TestWeightedSingleLink(t *testing.T) {
+	n := &Network{
+		Capacity: []float64{100},
+		Routes:   [][]int{{0}, {0}},
+		Weight:   []float64{1, 3},
+	}
+	rates, err := Allocate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(rates[0], 25) || !almostEq(rates[1], 75) {
+		t.Fatalf("weighted split wrong: %v", rates)
+	}
+	if err := VerifyDefinition2(n, rates, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeightedWithDemand: a weighted flow capped by demand releases its
+// unused share to the others.
+func TestWeightedWithDemand(t *testing.T) {
+	n := &Network{
+		Capacity: []float64{100},
+		Routes:   [][]int{{0}, {0}, {0}},
+		Weight:   []float64{2, 1, 1},
+		Demand:   []float64{10, 0, 0},
+	}
+	rates, err := Allocate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(rates[0], 10) || !almostEq(rates[1], 45) || !almostEq(rates[2], 45) {
+		t.Fatalf("weighted+demand allocation wrong: %v", rates)
+	}
+}
+
+// TestWeightedDefaultsToUnit: absent/invalid weights behave as 1.
+func TestWeightedDefaultsToUnit(t *testing.T) {
+	n := &Network{
+		Capacity: []float64{90},
+		Routes:   [][]int{{0}, {0}, {0}},
+		Weight:   []float64{0, -5, 1},
+	}
+	rates, err := Allocate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rates {
+		if !almostEq(r, 30) {
+			t.Fatalf("unit-weight fallback wrong: %v", rates)
+		}
+	}
+}

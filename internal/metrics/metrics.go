@@ -1,0 +1,158 @@
+// Package metrics provides the measurement machinery of the evaluation:
+// Jain's Fairness Index, per-flow goodput/throughput meters, time series
+// sampling, and CDFs, matching the metrics reported in the paper's §5.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"cebinae/internal/sim"
+)
+
+// JFI computes Jain's Fairness Index over the given values:
+// (Σx)² / (n·Σx²). It is 1 for equal allocations and 1/n when a single
+// flow takes everything. Values must be non-negative; an empty or all-zero
+// input yields 0.
+func JFI(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, v := range values {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(values)) * sumSq)
+}
+
+// NormalizedJFI computes the max-min-relative JFI of §5.3: x_i = r_i / r̂_i,
+// where r̂ is the ideal max-min allocation, then JFI over the x_i. The two
+// slices must have equal length; ideal entries must be positive.
+func NormalizedJFI(measured, ideal []float64) float64 {
+	if len(measured) != len(ideal) || len(measured) == 0 {
+		return 0
+	}
+	x := make([]float64, len(measured))
+	for i := range measured {
+		if ideal[i] <= 0 {
+			return 0
+		}
+		x[i] = measured[i] / ideal[i]
+	}
+	return JFI(x)
+}
+
+// FlowMeter accumulates a single flow's byte deliveries and converts them
+// to rates over arbitrary windows.
+type FlowMeter struct {
+	total   int64
+	samples []sample // cumulative bytes at time t
+}
+
+type sample struct {
+	t     sim.Time
+	bytes int64 // cumulative
+}
+
+// Record adds newBytes delivered at time t. Calls must be time-ordered.
+func (m *FlowMeter) Record(t sim.Time, newBytes int64) {
+	m.total += newBytes
+	m.samples = append(m.samples, sample{t, m.total})
+}
+
+// Total returns all bytes recorded.
+func (m *FlowMeter) Total() int64 { return m.total }
+
+// RateOver returns the average rate in bytes/second over [from, to].
+func (m *FlowMeter) RateOver(from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	return float64(m.bytesAt(to)-m.bytesAt(from)) / (to - from).Seconds()
+}
+
+// bytesAt returns the cumulative bytes delivered up to and including t.
+func (m *FlowMeter) bytesAt(t sim.Time) int64 {
+	idx := sort.Search(len(m.samples), func(i int) bool { return m.samples[i].t > t })
+	if idx == 0 {
+		return 0
+	}
+	return m.samples[idx-1].bytes
+}
+
+// Series converts the meter into a per-interval rate series in
+// bytes/second, covering [0, horizon) in steps of interval.
+func (m *FlowMeter) Series(interval, horizon sim.Time) []float64 {
+	if interval <= 0 || horizon <= 0 {
+		return nil
+	}
+	n := int((horizon + interval - 1) / interval)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		from := sim.Time(i) * interval
+		to := from + interval
+		if to > horizon {
+			to = horizon
+		}
+		out[i] = m.RateOver(from, to)
+	}
+	return out
+}
+
+// CDF returns the empirical distribution of values as sorted (value,
+// cumulative-probability) points.
+type CDFPoint struct {
+	Value float64
+	P     float64
+}
+
+// CDF computes the empirical CDF of values.
+func CDF(values []float64) []CDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(s))
+	for i, v := range s {
+		out[i] = CDFPoint{Value: v, P: float64(i+1) / float64(len(s))}
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) of values using
+// nearest-rank on a sorted copy.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}

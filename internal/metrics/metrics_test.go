@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cebinae/internal/sim"
+)
+
+func TestJFIExtremes(t *testing.T) {
+	if JFI([]float64{5, 5, 5, 5}) != 1 {
+		t.Fatal("equal allocation must give JFI 1")
+	}
+	got := JFI([]float64{10, 0, 0, 0})
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("single-flow capture of n=4 must give 1/n: %v", got)
+	}
+	if JFI(nil) != 0 || JFI([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate inputs must give 0")
+	}
+}
+
+// TestJFIRange: JFI ∈ [1/n, 1] for any non-negative non-zero input, and is
+// scale-invariant.
+func TestJFIRange(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		var sum float64
+		for i, v := range raw {
+			vals[i] = float64(v)
+			sum += vals[i]
+		}
+		if sum == 0 {
+			return JFI(vals) == 0
+		}
+		j := JFI(vals)
+		if j < 1/float64(len(vals))-1e-12 || j > 1+1e-12 {
+			return false
+		}
+		scaled := make([]float64, len(vals))
+		for i := range vals {
+			scaled[i] = vals[i] * 1e6
+		}
+		return math.Abs(JFI(scaled)-j) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizedJFI(t *testing.T) {
+	// Perfect tracking of an uneven ideal ⇒ 1.0.
+	if got := NormalizedJFI([]float64{6.25, 25, 12.5}, []float64{6.25, 25, 12.5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect normalised JFI should be 1, got %v", got)
+	}
+	if NormalizedJFI([]float64{1}, []float64{1, 2}) != 0 {
+		t.Fatal("length mismatch must give 0")
+	}
+	if NormalizedJFI([]float64{1}, []float64{0}) != 0 {
+		t.Fatal("zero ideal must give 0")
+	}
+}
+
+func TestFlowMeterRates(t *testing.T) {
+	var m FlowMeter
+	// 1000 bytes at t=1s, 2000 at t=2s, 3000 at t=3s.
+	m.Record(sim.Duration(1e9), 1000)
+	m.Record(sim.Duration(2e9), 2000)
+	m.Record(sim.Duration(3e9), 3000)
+	if m.Total() != 6000 {
+		t.Fatalf("total = %d", m.Total())
+	}
+	// Over [0,3s]: 6000 bytes / 3 s.
+	if got := m.RateOver(0, sim.Duration(3e9)); math.Abs(got-2000) > 1e-9 {
+		t.Fatalf("rate over full window = %v", got)
+	}
+	// Over (1s,3s]: 5000 bytes / 2s.
+	if got := m.RateOver(sim.Duration(1e9), sim.Duration(3e9)); math.Abs(got-2500) > 1e-9 {
+		t.Fatalf("rate over tail = %v", got)
+	}
+	if m.RateOver(sim.Duration(3e9), sim.Duration(3e9)) != 0 {
+		t.Fatal("empty window must give 0")
+	}
+}
+
+func TestFlowMeterSeries(t *testing.T) {
+	var m FlowMeter
+	m.Record(sim.Duration(0.5e9), 100)
+	m.Record(sim.Duration(1.5e9), 300)
+	s := m.Series(sim.Duration(1e9), sim.Duration(2e9))
+	if len(s) != 2 {
+		t.Fatalf("series length %d", len(s))
+	}
+	if math.Abs(s[0]-100) > 1e-9 || math.Abs(s[1]-300) > 1e-9 {
+		t.Fatalf("series wrong: %v", s)
+	}
+	if m.Series(0, sim.Duration(1e9)) != nil {
+		t.Fatal("invalid interval must give nil")
+	}
+}
+
+// TestFlowMeterMonotonicity: cumulative bytes at increasing times never
+// decrease, and rates over any window are non-negative.
+func TestFlowMeterMonotonicity(t *testing.T) {
+	f := func(deltas []uint8) bool {
+		var m FlowMeter
+		ts := sim.Time(0)
+		for _, d := range deltas {
+			ts += sim.Time(d)*1e6 + 1
+			m.Record(ts, int64(d))
+		}
+		for w := sim.Time(0); w < ts; w += ts/7 + 1 {
+			if m.RateOver(w, ts) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 || pts[0].Value != 1 || pts[2].Value != 3 {
+		t.Fatalf("CDF not sorted: %+v", pts)
+	}
+	if pts[2].P != 1 {
+		t.Fatalf("last point must have P=1: %+v", pts)
+	}
+	if math.Abs(pts[0].P-1.0/3) > 1e-12 {
+		t.Fatalf("first point P wrong: %+v", pts)
+	}
+	if CDF(nil) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if Percentile(vals, 50) != 5 {
+		t.Fatalf("p50 = %v", Percentile(vals, 50))
+	}
+	if Percentile(vals, 0) != 1 || Percentile(vals, 100) != 10 {
+		t.Fatal("extreme percentiles wrong")
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}

@@ -1,0 +1,236 @@
+// Package netem provides the simulated network substrate: nodes, full-duplex
+// point-to-point links, store-and-forward devices with pluggable queue
+// disciplines, static routing, and topology builders for the scenarios the
+// Cebinae paper evaluates (dumbbell and parking-lot).
+//
+// The model mirrors the role NS-3's NetDevice + traffic-control layer plays
+// in the paper's simulations: a device serialises packets onto its link at a
+// configured rate, and a Qdisc decides admission, ordering, and drops.
+package netem
+
+import (
+	"fmt"
+
+	"cebinae/internal/packet"
+	"cebinae/internal/sim"
+)
+
+// Qdisc is the queueing discipline attached to a device. Implementations
+// live in internal/qdisc and internal/core (the Cebinae LBF); the interface
+// is structural so those packages need not import netem.
+//
+// Enqueue returns false when the packet was dropped (tail drop, AQM drop, or
+// Cebinae past-tail drop). Dequeue returns nil when no packet is ready.
+type Qdisc interface {
+	Enqueue(p *packet.Packet) bool
+	Dequeue() *packet.Packet
+	Len() int
+	BytesQueued() int
+}
+
+// Endpoint is a transport-layer consumer registered on a host node.
+type Endpoint interface {
+	Deliver(p *packet.Packet)
+}
+
+// DeviceStats aggregates transmit-side counters for throughput accounting.
+type DeviceStats struct {
+	TxPackets   uint64
+	TxBytes     uint64
+	RxPackets   uint64
+	RxBytes     uint64
+	DropPackets uint64
+	DropBytes   uint64
+}
+
+// Device is one direction-capable attachment point of a node to a link. A
+// full-duplex link is a pair of peered devices, each with its own qdisc and
+// transmitter.
+type Device struct {
+	Name  string
+	node  *Node
+	peer  *Device
+	rate  float64  // link rate in bits per second
+	delay sim.Time // one-way propagation delay
+
+	qdisc Qdisc
+	busy  bool
+
+	Stats DeviceStats
+
+	// OnTransmit, when non-nil, observes every packet at the instant its
+	// serialisation completes (used by monitors).
+	OnTransmit func(p *packet.Packet)
+}
+
+// Rate returns the link rate in bits per second.
+func (d *Device) Rate() float64 { return d.rate }
+
+// Delay returns the one-way propagation delay.
+func (d *Device) Delay() sim.Time { return d.delay }
+
+// Qdisc returns the attached queue discipline.
+func (d *Device) Qdisc() Qdisc { return d.qdisc }
+
+// SetQdisc replaces the queue discipline. Must be called before traffic
+// flows through the device.
+func (d *Device) SetQdisc(q Qdisc) { d.qdisc = q }
+
+// Node returns the owning node.
+func (d *Device) Node() *Node { return d.node }
+
+// Send admits a packet to the device's qdisc and kicks the transmitter.
+func (d *Device) Send(p *packet.Packet) {
+	if !d.qdisc.Enqueue(p) {
+		d.Stats.DropPackets++
+		d.Stats.DropBytes += uint64(p.Size)
+		return
+	}
+	if !d.busy {
+		d.transmitNext()
+	}
+}
+
+// transmitNext pulls the next packet from the qdisc and serialises it onto
+// the link. The device stays busy until the qdisc runs dry.
+func (d *Device) transmitNext() {
+	p := d.qdisc.Dequeue()
+	if p == nil {
+		d.busy = false
+		return
+	}
+	d.busy = true
+	eng := d.node.net.Engine
+	serialise := sim.Time(float64(p.Size*8) / d.rate * 1e9)
+	eng.Schedule(serialise, func() {
+		d.Stats.TxPackets++
+		d.Stats.TxBytes += uint64(p.Size)
+		if d.OnTransmit != nil {
+			d.OnTransmit(p)
+		}
+		peer := d.peer
+		eng.Schedule(d.delay, func() { peer.receive(p) })
+		d.transmitNext()
+	})
+}
+
+// Kick restarts the transmitter if it is idle and the qdisc has become
+// non-empty without an Enqueue through Send (used by qdiscs that release
+// previously gated packets, such as the Cebinae LBF on queue rotation).
+func (d *Device) Kick() {
+	if !d.busy && d.qdisc.Len() > 0 {
+		d.transmitNext()
+	}
+}
+
+func (d *Device) receive(p *packet.Packet) {
+	d.Stats.RxPackets++
+	d.Stats.RxBytes += uint64(p.Size)
+	d.node.receive(p)
+}
+
+// Node is a host or switch. Hosts carry transport endpoints; switches only
+// forward. Forwarding uses a static next-hop table keyed by destination.
+type Node struct {
+	ID   packet.NodeID
+	Name string
+
+	net     *Network
+	devices []*Device
+	routes  map[packet.NodeID]*Device
+	demux   map[packet.FlowKey]Endpoint
+
+	// OnUnroutable observes packets with no route / no endpoint (default:
+	// counted and discarded).
+	Unroutable uint64
+}
+
+// Devices returns the node's attachment points in creation order.
+func (n *Node) Devices() []*Device { return n.devices }
+
+// AddRoute installs dev as the next hop towards dst.
+func (n *Node) AddRoute(dst packet.NodeID, dev *Device) {
+	n.routes[dst] = dev
+}
+
+// Register attaches a transport endpoint for the given (receive-side) key.
+func (n *Node) Register(key packet.FlowKey, ep Endpoint) {
+	n.demux[key] = ep
+}
+
+// Inject routes a locally generated packet out of the proper device.
+func (n *Node) Inject(p *packet.Packet) {
+	dev, ok := n.routes[p.Flow.Dst]
+	if !ok {
+		n.Unroutable++
+		return
+	}
+	dev.Send(p)
+}
+
+func (n *Node) receive(p *packet.Packet) {
+	if p.Flow.Dst == n.ID {
+		if ep, ok := n.demux[p.Flow]; ok {
+			ep.Deliver(p)
+			return
+		}
+		n.Unroutable++
+		return
+	}
+	n.Inject(p) // forward
+}
+
+// Network owns the engine, nodes, and links of one simulation.
+type Network struct {
+	Engine *sim.Engine
+	nodes  []*Node
+}
+
+// NewNetwork creates an empty network bound to eng.
+func NewNetwork(eng *sim.Engine) *Network {
+	return &Network{Engine: eng}
+}
+
+// NewNode adds a node with a unique ID.
+func (w *Network) NewNode(name string) *Node {
+	n := &Node{
+		ID:     packet.NodeID(len(w.nodes) + 1),
+		Name:   name,
+		net:    w,
+		routes: make(map[packet.NodeID]*Device),
+		demux:  make(map[packet.FlowKey]Endpoint),
+	}
+	w.nodes = append(w.nodes, n)
+	return n
+}
+
+// Nodes returns all nodes in creation order.
+func (w *Network) Nodes() []*Node { return w.nodes }
+
+// LinkConfig describes one full-duplex point-to-point link.
+type LinkConfig struct {
+	RateBps float64  // bits per second, both directions
+	Delay   sim.Time // one-way propagation delay
+	// QdiscFactory builds the qdisc for each direction's device; when nil a
+	// large drop-tail FIFO is installed by the caller.
+	QdiscFactory func() Qdisc
+}
+
+// Connect creates a full-duplex link between a and b, returning the two
+// directional devices (a→b, b→a). Qdiscs must be set by the caller (via
+// cfg.QdiscFactory or SetQdisc) before traffic flows.
+func (w *Network) Connect(a, b *Node, cfg LinkConfig) (*Device, *Device) {
+	if cfg.RateBps <= 0 {
+		panic(fmt.Sprintf("netem: non-positive link rate %v", cfg.RateBps))
+	}
+	da := &Device{Name: fmt.Sprintf("%s->%s", a.Name, b.Name), node: a, rate: cfg.RateBps, delay: cfg.Delay}
+	db := &Device{Name: fmt.Sprintf("%s->%s", b.Name, a.Name), node: b, rate: cfg.RateBps, delay: cfg.Delay}
+	da.peer, db.peer = db, da
+	if cfg.QdiscFactory != nil {
+		da.qdisc = cfg.QdiscFactory()
+		db.qdisc = cfg.QdiscFactory()
+	}
+	a.devices = append(a.devices, da)
+	b.devices = append(b.devices, db)
+	return da, db
+}

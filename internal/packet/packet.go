@@ -1,0 +1,143 @@
+// Package packet defines the packet and flow-identity model shared by every
+// layer of the simulator: transport endpoints, network devices, queue
+// disciplines, and the Cebinae data plane.
+package packet
+
+import (
+	"fmt"
+
+	"cebinae/internal/sim"
+)
+
+// NodeID identifies a node (host or switch) in the simulated network.
+type NodeID int32
+
+// Protocol numbers mirror their IANA values for familiarity.
+type Protocol uint8
+
+const (
+	ProtoTCP Protocol = 6
+	ProtoUDP Protocol = 17
+)
+
+// FlowKey is the canonical 5-tuple used for flow-level accounting. Addresses
+// are node IDs; the simulator does not model IP addressing separately.
+type FlowKey struct {
+	Src     NodeID
+	Dst     NodeID
+	SrcPort uint16
+	DstPort uint16
+	Proto   Protocol
+}
+
+// Reverse returns the key of the opposite direction of the same conversation
+// (used to route ACKs back to the sender's demux entry).
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
+}
+
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%d:%d->%d:%d/%d", k.Src, k.SrcPort, k.Dst, k.DstPort, k.Proto)
+}
+
+// Hash returns a 64-bit mix of the flow key, suitable for hash-table
+// placement (e.g., the heavy-hitter cache stages use seeded variants).
+func (k FlowKey) Hash(seed uint64) uint64 {
+	h := seed ^ 0xCBF29CE484222325
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0x100000001B3
+		h ^= h >> 29
+	}
+	mix(uint64(uint32(k.Src)))
+	mix(uint64(uint32(k.Dst)) << 1)
+	mix(uint64(k.SrcPort)<<16 | uint64(k.DstPort))
+	mix(uint64(k.Proto))
+	return h
+}
+
+// TCP header flag bits.
+const (
+	FlagSYN uint8 = 1 << 0
+	FlagACK uint8 = 1 << 1
+	FlagFIN uint8 = 1 << 2
+	FlagECE uint8 = 1 << 3 // ECN-Echo: receiver saw a CE mark
+	FlagCWR uint8 = 1 << 4 // sender reduced its window in response to ECE
+)
+
+// ECN codepoints on the (simulated) IP header.
+type ECN uint8
+
+const (
+	ECNNotECT ECN = 0 // transport is not ECN-capable
+	ECNECT    ECN = 1 // ECN-capable transport
+	ECNCE     ECN = 3 // congestion experienced (set by the network)
+)
+
+// Packet is one simulated datagram. Packets are passed by pointer and owned
+// by exactly one queue or in-flight link at any instant.
+type Packet struct {
+	Flow FlowKey
+
+	// Seq is the first payload byte carried; Ack is the cumulative ACK
+	// (next byte expected). Both are byte offsets, as in TCP.
+	Seq int64
+	Ack int64
+
+	Flags uint8
+	ECN   ECN
+
+	// SACK carries up to three selective-acknowledgement blocks on ACK
+	// packets (RFC 2018), lowest first.
+	SACK []SackBlock
+
+	// PayloadSize is application bytes carried; Size is bytes on the wire
+	// (payload plus fixed header overhead).
+	PayloadSize int32
+	Size        int32
+
+	// SentAt is stamped by the sender when the packet first enters the
+	// network; used for RTT sampling and latency accounting.
+	SentAt sim.Time
+
+	// EnqueuedAt is stamped by queue disciplines that need sojourn times
+	// (CoDel) at enqueue.
+	EnqueuedAt sim.Time
+
+	// Retransmit marks a retransmitted data segment (excluded from goodput).
+	Retransmit bool
+
+	// DeliveredAtSend and DeliveredTimeAtSend snapshot the sender's delivery
+	// counter when this packet was sent; they drive delivery-rate sampling
+	// for BBR (after the style of Linux's rate-sample).
+	DeliveredAtSend     int64
+	DeliveredTimeAtSend sim.Time
+
+	// AppLimitedAtSend records whether the sender was application-limited
+	// when this packet left, so rate samples can be discounted.
+	AppLimitedAtSend bool
+}
+
+// SackBlock is one received byte range [Start, End) beyond the cumulative
+// ACK point.
+type SackBlock struct {
+	Start, End int64
+}
+
+// HeaderBytes is the fixed per-packet overhead (IP + TCP headers) the
+// simulator charges on the wire.
+const HeaderBytes = 52
+
+// MSS is the default maximum segment (payload) size, chosen so that a full
+// segment plus headers matches a 1500-byte MTU.
+const MSS = 1500 - HeaderBytes
+
+// IsData reports whether the packet carries payload bytes.
+func (p *Packet) IsData() bool { return p.PayloadSize > 0 }
+
+// HasFlag reports whether flag f is set.
+func (p *Packet) HasFlag(f uint8) bool { return p.Flags&f != 0 }
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{%s seq=%d ack=%d len=%d flags=%08b}", p.Flow, p.Seq, p.Ack, p.PayloadSize, p.Flags)
+}

@@ -1,0 +1,231 @@
+package qdisc
+
+import (
+	"cebinae/internal/packet"
+	"cebinae/internal/sim"
+)
+
+// FQCoDel implements the RFC 8290 scheduler the paper uses as its "FQ"
+// baseline: Deficit Round Robin across per-flow queues, CoDel AQM within
+// each queue. Matching the paper's configuration ("we change the default
+// 1024 queues to 2^32−1 to ensure an ideal per-flow queue"), flows map to
+// dedicated queues with no hash collisions.
+type FQCoDel struct {
+	eng        *sim.Engine
+	limitBytes int
+	quantum    int
+	codel      CoDelParams
+
+	flows map[packet.FlowKey]*fqFlow
+	// DRR schedule: new flows get one quantum of priority before joining
+	// the old-flows round robin, per RFC 8290 §4.2.
+	newFlows list
+	oldFlows list
+
+	bytes   int
+	packets int
+
+	Drops     uint64
+	ECNMarked uint64
+}
+
+type fqFlow struct {
+	key     packet.FlowKey
+	q       ring
+	bytes   int
+	deficit int
+	codel   codelState
+	// where: 0 = detached, 1 = new list, 2 = old list
+	where      int
+	next, prev *fqFlow
+}
+
+// NewFQCoDel builds the discipline. limitBytes bounds total buffered bytes
+// (<=0 means a large default); quantum <= 0 selects one MTU.
+func NewFQCoDel(eng *sim.Engine, limitBytes, quantum int, params CoDelParams) *FQCoDel {
+	if limitBytes <= 0 {
+		limitBytes = 32 << 20
+	}
+	if quantum <= 0 {
+		quantum = 1500
+	}
+	return &FQCoDel{
+		eng:        eng,
+		limitBytes: limitBytes,
+		quantum:    quantum,
+		codel:      params,
+		flows:      make(map[packet.FlowKey]*fqFlow),
+	}
+}
+
+// Enqueue classifies p to its flow queue. On overflow it drops from the
+// largest queue (RFC 8290 §4.1.3), which may or may not be p's own.
+func (f *FQCoDel) Enqueue(p *packet.Packet) bool {
+	fl, ok := f.flows[p.Flow]
+	if !ok {
+		fl = &fqFlow{key: p.Flow}
+		f.flows[p.Flow] = fl
+	}
+	p.EnqueuedAt = f.eng.Now()
+	fl.q.push(p)
+	fl.bytes += int(p.Size)
+	f.bytes += int(p.Size)
+	f.packets++
+
+	if fl.where == 0 {
+		fl.deficit = f.quantum
+		f.newFlows.pushBack(fl)
+		fl.where = 1
+	}
+
+	dropped := false
+	for f.bytes > f.limitBytes {
+		victim := f.fattestFlow()
+		if victim == nil {
+			break
+		}
+		dp := victim.q.pop()
+		victim.bytes -= int(dp.Size)
+		f.bytes -= int(dp.Size)
+		f.packets--
+		f.Drops++
+		if dp == p {
+			dropped = true
+		}
+	}
+	return !dropped
+}
+
+// Dequeue runs one DRR scheduling step, applying CoDel to the head of the
+// selected flow queue.
+func (f *FQCoDel) Dequeue() *packet.Packet {
+	for {
+		fl := f.selectFlow()
+		if fl == nil {
+			return nil
+		}
+		p := f.codelDequeue(fl)
+		if p == nil {
+			// Queue emptied (possibly by CoDel drops): per RFC 8290, a new
+			// flow that empties moves to the old list; an old flow detaches.
+			if fl.where == 1 {
+				f.newFlows.remove(fl)
+				f.oldFlows.pushBack(fl)
+				fl.where = 2
+			} else {
+				f.oldFlows.remove(fl)
+				fl.where = 0
+				delete(f.flows, fl.key)
+			}
+			continue
+		}
+		fl.deficit -= int(p.Size)
+		return p
+	}
+}
+
+// selectFlow picks the next flow with positive deficit, preferring the new
+// list, recharging deficits as rounds complete.
+func (f *FQCoDel) selectFlow() *fqFlow {
+	for {
+		fl := f.newFlows.front
+		fromNew := true
+		if fl == nil {
+			fl = f.oldFlows.front
+			fromNew = false
+		}
+		if fl == nil {
+			return nil
+		}
+		if fl.deficit <= 0 {
+			fl.deficit += f.quantum
+			if fromNew {
+				f.newFlows.remove(fl)
+				f.oldFlows.pushBack(fl)
+				fl.where = 2
+			} else {
+				f.oldFlows.remove(fl)
+				f.oldFlows.pushBack(fl)
+			}
+			continue
+		}
+		return fl
+	}
+}
+
+// codelDequeue pops packets from fl, dropping while CoDel says to. ECN-capable
+// packets are CE-marked instead of dropped (RFC 8290 §4.2).
+func (f *FQCoDel) codelDequeue(fl *fqFlow) *packet.Packet {
+	now := f.eng.Now()
+	for {
+		p := fl.q.pop()
+		if p == nil {
+			return nil
+		}
+		fl.bytes -= int(p.Size)
+		f.bytes -= int(p.Size)
+		f.packets--
+		sojourn := now - p.EnqueuedAt
+		if fl.codel.shouldDrop(sojourn, now, fl.bytes) {
+			if p.ECN == packet.ECNECT {
+				p.ECN = packet.ECNCE
+				f.ECNMarked++
+				return p
+			}
+			f.Drops++
+			continue
+		}
+		return p
+	}
+}
+
+// Len returns the number of queued packets across all flows.
+func (f *FQCoDel) Len() int { return f.packets }
+
+// BytesQueued returns the buffered byte total.
+func (f *FQCoDel) BytesQueued() int { return f.bytes }
+
+// FlowCount returns the number of active flow queues.
+func (f *FQCoDel) FlowCount() int { return len(f.flows) }
+
+func (f *FQCoDel) fattestFlow() *fqFlow {
+	var fat *fqFlow
+	for _, fl := range f.flows {
+		if fl.q.len() == 0 {
+			continue
+		}
+		if fat == nil || fl.bytes > fat.bytes {
+			fat = fl
+		}
+	}
+	return fat
+}
+
+// list is an intrusive doubly linked list of fqFlows.
+type list struct {
+	front, back *fqFlow
+}
+
+func (l *list) pushBack(fl *fqFlow) {
+	fl.next, fl.prev = nil, l.back
+	if l.back != nil {
+		l.back.next = fl
+	} else {
+		l.front = fl
+	}
+	l.back = fl
+}
+
+func (l *list) remove(fl *fqFlow) {
+	if fl.prev != nil {
+		fl.prev.next = fl.next
+	} else if l.front == fl {
+		l.front = fl.next
+	}
+	if fl.next != nil {
+		fl.next.prev = fl.prev
+	} else if l.back == fl {
+		l.back = fl.prev
+	}
+	fl.next, fl.prev = nil, nil
+}

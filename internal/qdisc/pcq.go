@@ -1,0 +1,104 @@
+package qdisc
+
+import (
+	"cebinae/internal/cmsketch"
+	"cebinae/internal/packet"
+)
+
+// PCQ implements the fair-queueing instantiation of Programmable Calendar
+// Queues (Sharma et al., NSDI '20) — the other scalability comparison the
+// paper's §5.5 names ("AFQ or PCQ"). Like AFQ it schedules each packet into
+// the calendar slot of its flow's bid round; the distinctive difference is
+// overflow handling: where AFQ *drops* packets whose round lies beyond the
+// nQ-slot horizon, PCQ enqueues them into the *last* queue, trading
+// fairness degradation for delivery. Rotation is queue-drain driven: when
+// the head queue empties it is recycled to the tail as the farthest-future
+// slot.
+type PCQ struct {
+	NQ  int
+	BpR int64
+
+	limitBytes int
+	round      int64
+	queues     []ring
+	bytes      int
+	packets    int
+	sketch     *cmsketch.Sketch
+
+	// HorizonSquashed counts packets scheduled past the horizon and
+	// squashed into the last queue (PCQ's fairness-degradation mode).
+	HorizonSquashed uint64
+	OverflowDrops   uint64
+}
+
+// NewPCQ builds a PCQ instance (geometry as NewAFQ).
+func NewPCQ(nQ int, bpr int64, limitBytes, sketchCols int) *PCQ {
+	if nQ <= 0 || bpr <= 0 {
+		panic("qdisc: PCQ needs positive nQ and BpR")
+	}
+	if limitBytes <= 0 {
+		limitBytes = 32 << 20
+	}
+	if sketchCols <= 0 {
+		sketchCols = 4096
+	}
+	return &PCQ{
+		NQ:         nQ,
+		BpR:        bpr,
+		limitBytes: limitBytes,
+		queues:     make([]ring, nQ),
+		sketch:     cmsketch.New(4, sketchCols),
+	}
+}
+
+// Enqueue schedules into the bid round's slot, squashing beyond-horizon
+// packets into the last queue.
+func (q *PCQ) Enqueue(p *packet.Packet) bool {
+	if q.bytes+int(p.Size) > q.limitBytes {
+		q.OverflowDrops++
+		return false
+	}
+	floor := q.round * q.BpR
+	bid := q.sketch.Estimate(p.Flow)
+	if bid < floor {
+		bid = floor
+	}
+	bid += int64(p.Size)
+	slot := bid / q.BpR
+	if slot >= q.round+int64(q.NQ) {
+		slot = q.round + int64(q.NQ) - 1
+		q.HorizonSquashed++
+	}
+	q.sketch.UpdateMax(p.Flow, bid)
+	idx := int(slot % int64(q.NQ))
+	q.queues[idx].push(p)
+	q.bytes += int(p.Size)
+	q.packets++
+	return true
+}
+
+// Dequeue serves the head slot, rotating drained queues to the tail.
+func (q *PCQ) Dequeue() *packet.Packet {
+	for tries := 0; tries <= q.NQ; tries++ {
+		idx := int(q.round % int64(q.NQ))
+		if p := q.queues[idx].pop(); p != nil {
+			q.bytes -= int(p.Size)
+			q.packets--
+			return p
+		}
+		if q.packets == 0 {
+			return nil
+		}
+		q.round++ // ROTATE: drained head becomes the farthest-future slot
+	}
+	return nil
+}
+
+// Len returns the queued packet count.
+func (q *PCQ) Len() int { return q.packets }
+
+// BytesQueued returns the buffered byte total.
+func (q *PCQ) BytesQueued() int { return q.bytes }
+
+// Round returns the slot currently in service (diagnostics).
+func (q *PCQ) Round() int64 { return q.round }

@@ -1,0 +1,138 @@
+// Package resource models the data-plane resource usage of Cebinae on a
+// Tofino switch (paper Table 3). The paper's numbers are static compile-time
+// facts of its P4/Lucid program; this model re-derives them from the
+// program's structure — per-port register arrays, the flow-cache geometry,
+// match-action tables for ⊤ membership, and the two-queue LBF — and checks
+// them against the published budgets of a 32-port Tofino pipeline.
+package resource
+
+import "fmt"
+
+// Budget is the per-pipeline resource budget of the modelled switch.
+type Budget struct {
+	PipelineStages int
+	PHVBits        int
+	SRAMKB         int
+	TCAMKB         int
+	VLIWInstrs     int
+	Queues         int
+}
+
+// TofinoBudget approximates the usable budget of the paper's 32-port
+// Tofino pipeline: 12 match-action stages, ~4.5 kb of PHV (normal + overlay containers), a ~20 MB usable
+// SRAM pool, ~528 KB of TCAM, 384 VLIW slots, and 32 queues per port.
+func TofinoBudget() Budget {
+	return Budget{
+		PipelineStages: 12,
+		PHVBits:        4608,
+		SRAMKB:         20480,
+		TCAMKB:         528,
+		VLIWInstrs:     384,
+		Queues:         32 * 32,
+	}
+}
+
+// Config describes a Cebinae data-plane build.
+type Config struct {
+	Ports       int
+	CacheStages int
+	CacheSlots  int // per port per stage
+	// TopTableEntries sizes the ⊤ membership match table (flows that can
+	// be simultaneously marked bottlenecked).
+	TopTableEntries int
+}
+
+// Usage is the modelled consumption, mirroring Table 3's columns.
+type Usage struct {
+	CacheStages    int
+	PipelineStages int
+	PHVBits        int
+	SRAMKB         int
+	TCAMKB         int
+	VLIWInstrs     int
+	Queues         int
+}
+
+// Estimate derives the usage of a Cebinae build. Constants are calibrated
+// to the paper's published 1- and 2-stage rows (937b/1042b PHV, 2448/4096 KB
+// SRAM, 15/34 KB TCAM, 89/93 VLIW, 11 pipeline stages, 64 queues).
+func Estimate(cfg Config) Usage {
+	u := Usage{CacheStages: cfg.CacheStages}
+
+	// Pipeline stages: parsing + classification + LBF arithmetic chain is
+	// 9 stages; the flow cache overlays 2 of them regardless of its depth
+	// up to 2 stages, each extra cache stage adds one more.
+	u.PipelineStages = 11
+	if cfg.CacheStages > 2 {
+		u.PipelineStages += cfg.CacheStages - 2
+	}
+
+	// PHV: fixed header/metadata footprint plus per-cache-stage hash,
+	// index, and counter fields (~105 bits each).
+	u.PHVBits = 832 + 105*cfg.CacheStages
+
+	// SRAM: cache registers dominate — each slot holds a hashed flow key
+	// (9 B) plus a 4 B byte counter. The LBF counters, port counters and
+	// their Mantis shadow copies add a fixed ~784 KB. Calibrated to the
+	// published builds (2448 KB at 1 stage, ≈4.1 MB at 2).
+	const slotBytes = 13
+	cacheKB := cfg.Ports * cfg.CacheStages * cfg.CacheSlots * slotBytes / 1024
+	u.SRAMKB = 784 + cacheKB
+
+	// TCAM: the ⊤ membership table plus per-stage range tables; the first
+	// stage shares entries with the base classification tables.
+	// Calibrated to the published builds (15 KB at 1 stage, 34 KB at 2).
+	u.TCAMKB = 19*cfg.CacheStages - 4
+	if u.TCAMKB < 2 {
+		u.TCAMKB = 2
+	}
+
+	// VLIW: the base program uses 85 instruction slots; each cache stage
+	// adds ~4 (hash, compare, add, move).
+	u.VLIWInstrs = 85 + 4*cfg.CacheStages
+
+	// Queues: two priorities per port.
+	u.Queues = 2 * cfg.Ports
+	return u
+}
+
+// UtilisationPct returns each resource's share of the budget in percent.
+func (u Usage) UtilisationPct(b Budget) map[string]float64 {
+	return map[string]float64{
+		"PipelineStages": pct(u.PipelineStages, b.PipelineStages),
+		"PHV":            pct(u.PHVBits, b.PHVBits),
+		"SRAM":           pct(u.SRAMKB, b.SRAMKB),
+		"TCAM":           pct(u.TCAMKB, b.TCAMKB),
+		"VLIW":           pct(u.VLIWInstrs, b.VLIWInstrs),
+		"Queues":         pct(u.Queues, b.Queues),
+	}
+}
+
+// Fits reports whether every resource is within budget, with the first
+// violation described.
+func (u Usage) Fits(b Budget) (bool, string) {
+	checks := []struct {
+		name      string
+		use, have int
+	}{
+		{"pipeline stages", u.PipelineStages, b.PipelineStages},
+		{"PHV bits", u.PHVBits, b.PHVBits},
+		{"SRAM KB", u.SRAMKB, b.SRAMKB},
+		{"TCAM KB", u.TCAMKB, b.TCAMKB},
+		{"VLIW instrs", u.VLIWInstrs, b.VLIWInstrs},
+		{"queues", u.Queues, b.Queues},
+	}
+	for _, c := range checks {
+		if c.use > c.have {
+			return false, fmt.Sprintf("%s: %d > %d", c.name, c.use, c.have)
+		}
+	}
+	return true, ""
+}
+
+func pct(use, have int) float64 {
+	if have == 0 {
+		return 0
+	}
+	return 100 * float64(use) / float64(have)
+}

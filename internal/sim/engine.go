@@ -1,0 +1,169 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock with nanosecond resolution and a
+// priority queue of scheduled events. Events scheduled for the same instant
+// fire in scheduling order (FIFO tie-breaking), which makes runs fully
+// deterministic for a fixed seed and workload.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(math.MaxInt64)
+
+// Duration converts a standard library duration to the engine's resolution.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Std converts a virtual time offset into a standard library duration.
+func (t Time) Std() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Event is a handle to a scheduled callback. It can be cancelled before it
+// fires; cancelling an already-fired or already-cancelled event is a no-op.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // position in the heap, -1 once removed
+	callback func()
+}
+
+// At returns the virtual time at which the event is (or was) scheduled.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether the event has been cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.index == -1 }
+
+// Engine is a discrete-event scheduler. It is not safe for concurrent use;
+// simulations are single-goroutine by design.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	// Processed counts events dispatched since construction.
+	Processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn after delay d (relative to the current virtual time).
+// A negative delay is treated as zero.
+func (e *Engine) Schedule(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// ScheduleStd runs fn after a standard library duration.
+func (e *Engine) ScheduleStd(d time.Duration, fn func()) *Event {
+	return e.Schedule(Duration(d), fn)
+}
+
+// At runs fn at absolute virtual time t. Times in the past are clamped to
+// the current instant.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, callback: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a pending event. It is safe to call with nil or with an
+// event that has already fired.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index == -1 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Stop makes Run return after the currently dispatching event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of events waiting to fire.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Run dispatches events in time order until the queue empties, the clock
+// would pass `until`, or Stop is called. It returns the virtual time at
+// which it stopped. Events scheduled exactly at `until` do fire.
+func (e *Engine) Run(until Time) Time {
+	e.stopped = false
+	for e.queue.Len() > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		next.index = -1
+		e.now = next.at
+		e.Processed++
+		next.callback()
+	}
+	// Settle the clock at the horizon when the queue drained early — except
+	// for RunAll's open horizon, where the clock stays at the last event.
+	if e.now < until && !e.stopped && until != MaxTime {
+		e.now = until
+	}
+	return e.now
+}
+
+// RunAll dispatches every event until the queue drains or Stop is called.
+func (e *Engine) RunAll() Time { return e.Run(MaxTime) }
+
+// eventQueue is a binary min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,63 @@
+package sim
+
+import "math"
+
+// Rand is a small deterministic pseudo-random generator (xorshift64*) used
+// throughout the simulator so that runs are reproducible from a seed and
+// independent of the Go runtime's global RNG.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift has a zero fixed point.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a pseudo-random number in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a pseudo-random integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// ExpFloat64 returns an exponentially distributed value with mean 1.
+func (r *Rand) ExpFloat64() float64 {
+	// Inverse transform sampling; guard against log(0).
+	u := r.Float64()
+	if u >= 1 {
+		u = 0.9999999999999999
+	}
+	return -math.Log(1 - u)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

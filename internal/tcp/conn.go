@@ -1,0 +1,693 @@
+package tcp
+
+import (
+	"fmt"
+
+	"cebinae/internal/netem"
+	"cebinae/internal/packet"
+	"cebinae/internal/sim"
+)
+
+// Config parameterises one TCP connection (the sending side).
+type Config struct {
+	Key packet.FlowKey
+	CC  CongestionControl
+
+	// MSS is the maximum segment (payload) size; default packet.MSS.
+	MSS int
+	// InitialCwndSegments is the initial window in segments (default 10,
+	// per RFC 6928).
+	InitialCwndSegments int
+	// DataLimit bounds the bytes the application will send (0 = infinite
+	// demand, the paper's long-lived-flow model).
+	DataLimit int64
+	// StartAt delays the first transmission (flow arrival time).
+	StartAt sim.Time
+	// MinRTO clamps the retransmission timer (default 200 ms, as Linux).
+	MinRTO sim.Time
+	// ECN enables ECT marking on data segments and ECE-driven reductions.
+	ECN bool
+	// MaxCwndBytes optionally caps the congestion window (0 = no cap).
+	MaxCwndBytes float64
+	// SendJitter adds a uniform random host-processing delay in [0, J) to
+	// each transmission (order-preserving). Deterministic simulations
+	// exhibit lock-step phase effects between competing flows; a few
+	// microseconds of jitter breaks them, as NS-3 setups commonly do.
+	// Default 10 µs; set negative to disable.
+	SendJitter sim.Time
+	// Seed perturbs the connection's private RNG (jitter); the flow key
+	// hash is mixed in as well.
+	Seed uint64
+}
+
+type sentRecord struct {
+	size          int32
+	sentAt        sim.Time
+	retransmitted bool
+	deliveredAtTx int64
+	txTimeAtTx    sim.Time
+	firstTxAtTx   sim.Time // send time of the last-delivered packet at send
+	appLimited    bool
+}
+
+// ConnStats aggregates sender-side counters.
+type ConnStats struct {
+	SentPackets    uint64
+	SentBytes      uint64
+	Retransmits    uint64
+	Timeouts       uint64
+	FastRecoveries uint64
+	AckedBytes     int64
+	ECEReductions  uint64
+}
+
+// Conn is the sending half of a simulated TCP connection. It implements
+// SACK-based loss recovery with pipe accounting (in the spirit of RFC 6675):
+// the receiver reports out-of-order blocks, the sender keeps a scoreboard,
+// presumes data below the highest SACKed byte lost, and retransmits holes
+// while limiting the estimated bytes in flight to the congestion window.
+//
+// Exported congestion-state fields (Cwnd, Ssthresh) are manipulated by
+// CongestionControl implementations; experiment code should treat them as
+// read-only.
+type Conn struct {
+	cfg  Config
+	eng  *sim.Engine
+	node *netem.Node
+	cc   CongestionControl
+
+	// Congestion state, in bytes. Cwnd is float64 so sub-MSS increments
+	// (e.g. Reno's MSS²/cwnd per ACK) accumulate exactly.
+	Cwnd     float64
+	Ssthresh float64
+
+	// Sequence state (byte offsets).
+	sndUna int64
+	sndNxt int64
+
+	// SACK scoreboard.
+	sacked     intervalSet
+	retxPtr    int64 // next candidate sequence for hole retransmission
+	retxOut    int64 // retransmitted bytes estimated still in flight
+	dupAcks    int
+	inRecovery bool
+	recoverSeq int64 // snd_nxt when loss was detected
+	// lostMark, when non-zero (set on RTO), presumes all unSACKed data
+	// below it lost — beyond the usual below-highSACKed presumption.
+	lostMark int64
+
+	// RTT estimation (RFC 6298).
+	srtt, rttvar, rto sim.Time
+	rtoEvent          *sim.Event
+	backoff           int
+
+	// Delivery accounting for rate samples: delivered counts bytes known
+	// received (cumulative ACK advances plus newly SACKed), per the Linux
+	// rate-sampling model.
+	delivered     int64
+	deliveredTime sim.Time
+	firstTxTime   sim.Time // send time of the most recently delivered packet
+	appLimited    bool
+	// Round tracking: a round ends when a packet sent after the previous
+	// round's end is acked.
+	nextRoundDelivered int64
+	roundCount         int64
+
+	sent map[int64]*sentRecord
+
+	// Pacing.
+	pacingEvent  *sim.Event
+	nextSendTime sim.Time
+
+	// ECN state: one reduction per RTT on ECE.
+	eceSeq int64
+
+	rng            *sim.Rand
+	lastInjectTime sim.Time
+
+	finished bool
+	Stats    ConnStats
+
+	// MinRTTSeen is the smallest RTT sample observed (used by CCAs and
+	// diagnostics).
+	MinRTTSeen sim.Time
+
+	// OnFinish, when set, fires once DataLimit bytes are acked.
+	OnFinish func()
+}
+
+// NewConn creates a sender on node src, registers its ACK demux entry, and
+// schedules its start. The matching Receiver must be registered on the
+// destination node by the caller.
+func NewConn(eng *sim.Engine, src *netem.Node, cfg Config) *Conn {
+	if cfg.MSS == 0 {
+		cfg.MSS = packet.MSS
+	}
+	if cfg.InitialCwndSegments == 0 {
+		cfg.InitialCwndSegments = 10
+	}
+	if cfg.MinRTO == 0 {
+		cfg.MinRTO = sim.Duration(200e6) // 200 ms
+	}
+	if cfg.CC == nil {
+		cfg.CC = NewNewReno()
+	}
+	if cfg.SendJitter == 0 {
+		cfg.SendJitter = sim.Duration(10e3) // 10 µs
+	} else if cfg.SendJitter < 0 {
+		cfg.SendJitter = 0
+	}
+	c := &Conn{
+		cfg:  cfg,
+		eng:  eng,
+		node: src,
+		cc:   cfg.CC,
+		sent: make(map[int64]*sentRecord),
+		rto:  sim.Duration(1e9), // initial RTO 1 s (RFC 6298)
+		rng:  sim.NewRand(cfg.Seed ^ cfg.Key.Hash(0x5EED)),
+	}
+	c.Cwnd = float64(cfg.InitialCwndSegments * cfg.MSS)
+	c.Ssthresh = 1 << 40
+	src.Register(cfg.Key.Reverse(), c)
+	c.cc.Init(c)
+	eng.At(cfg.StartAt, c.trySend)
+	return c
+}
+
+// Key returns the data-direction flow key.
+func (c *Conn) Key() packet.FlowKey { return c.cfg.Key }
+
+// Config returns the connection's configuration (read-only view).
+func (c *Conn) Config() Config { return c.cfg }
+
+// CCName returns the congestion control algorithm name.
+func (c *Conn) CCName() string { return c.cc.Name() }
+
+// MSS returns the connection's segment size in bytes.
+func (c *Conn) MSS() int { return c.cfg.MSS }
+
+// Engine exposes the simulation engine to CC modules (for clocks).
+func (c *Conn) Engine() *sim.Engine { return c.eng }
+
+// SRTT returns the smoothed RTT estimate.
+func (c *Conn) SRTT() sim.Time { return c.srtt }
+
+// InFlight returns the pipe estimate: bytes believed in the network
+// (sent − delivered − lost + retransmitted).
+func (c *Conn) InFlight() int64 { return c.pipe() }
+
+// Delivered returns total bytes known delivered (cumACK + SACK).
+func (c *Conn) Delivered() int64 { return c.delivered }
+
+// RoundCount returns the number of completed round trips.
+func (c *Conn) RoundCount() int64 { return c.roundCount }
+
+// InRecovery reports whether the sender is in loss recovery.
+func (c *Conn) InRecovery() bool { return c.inRecovery }
+
+// highSacked returns the highest byte known delivered.
+func (c *Conn) highSacked() int64 {
+	if m := c.sacked.max(); m > c.sndUna {
+		return m
+	}
+	return c.sndUna
+}
+
+// lossBound returns the sequence below which unSACKed data is presumed
+// lost: the highest SACKed byte, extended to the whole outstanding window
+// after an RTO.
+func (c *Conn) lossBound() int64 {
+	b := c.highSacked()
+	if c.lostMark > b {
+		b = c.lostMark
+	}
+	return b
+}
+
+// pipe estimates bytes in flight. Everything below lossBound is either
+// SACKed (delivered) or presumed lost, so the live data is
+// [lossBound, sndNxt) plus outstanding retransmissions.
+func (c *Conn) pipe() int64 {
+	return c.sndNxt - c.lossBound() + c.retxOut
+}
+
+// effectiveCwnd is the window the send loop honours.
+func (c *Conn) effectiveCwnd() float64 {
+	w := c.Cwnd
+	if c.cfg.MaxCwndBytes > 0 && w > c.cfg.MaxCwndBytes {
+		w = c.cfg.MaxCwndBytes
+	}
+	return w
+}
+
+// nextRetxSeq returns the next presumed-lost hole to retransmit, or −1.
+func (c *Conn) nextRetxSeq() int64 {
+	seq := c.retxPtr
+	if seq < c.sndUna {
+		seq = c.sndUna
+	}
+	seq = c.sacked.nextUncovered(seq)
+	if seq >= c.lossBound() {
+		return -1
+	}
+	return seq
+}
+
+// trySend emits retransmissions and new segments as the window (and
+// pacing) permits.
+func (c *Conn) trySend() {
+	if c.finished {
+		return
+	}
+	pacingRate := c.cc.PacingRate(c)
+	for {
+		var seq int64
+		retx := false
+		if c.inRecovery {
+			if s := c.nextRetxSeq(); s >= 0 {
+				seq, retx = s, true
+			} else {
+				seq = c.sndNxt
+			}
+		} else {
+			seq = c.sndNxt
+		}
+
+		if !retx {
+			if c.cfg.DataLimit > 0 && seq >= c.cfg.DataLimit {
+				c.appLimited = true
+				return
+			}
+		}
+		if float64(c.pipe())+float64(c.cfg.MSS) > c.effectiveCwnd() {
+			c.appLimited = false
+			return
+		}
+		if pacingRate > 0 {
+			now := c.eng.Now()
+			if now < c.nextSendTime {
+				c.schedulePacing(c.nextSendTime - now)
+				return
+			}
+			gap := sim.Time(float64(c.cfg.MSS+packet.HeaderBytes) / pacingRate * 1e9)
+			if c.nextSendTime < now-gap {
+				c.nextSendTime = now // don't bank idle credit
+			}
+			c.nextSendTime += gap
+		}
+
+		if retx {
+			size := c.segSizeAt(seq)
+			c.transmit(seq, size, true)
+			c.retxOut += int64(size)
+			c.retxPtr = seq + int64(size)
+		} else {
+			size := int64(c.cfg.MSS)
+			if c.cfg.DataLimit > 0 && c.sndNxt+size > c.cfg.DataLimit {
+				size = c.cfg.DataLimit - c.sndNxt
+			}
+			c.transmit(c.sndNxt, int32(size), false)
+			c.sndNxt += size
+		}
+	}
+}
+
+func (c *Conn) schedulePacing(d sim.Time) {
+	if c.pacingEvent != nil && !c.pacingEvent.Cancelled() {
+		return
+	}
+	c.pacingEvent = c.eng.Schedule(d, c.trySend)
+}
+
+// transmit sends the segment at seq. Retransmissions reuse the original
+// sequence but are flagged so RTT sampling skips them.
+func (c *Conn) transmit(seq int64, size int32, retx bool) {
+	now := c.eng.Now()
+	p := &packet.Packet{
+		Flow:        c.cfg.Key,
+		Seq:         seq,
+		PayloadSize: size,
+		Size:        size + packet.HeaderBytes,
+		SentAt:      now,
+		Retransmit:  retx,
+	}
+	if c.cfg.ECN {
+		p.ECN = packet.ECNECT
+	}
+	if c.pipe() == 0 {
+		// Starting a fresh flight: anchor the send-interval clock.
+		c.firstTxTime = now
+	}
+	rec := c.sent[seq]
+	if rec == nil {
+		rec = &sentRecord{}
+		c.sent[seq] = rec
+	}
+	rec.size = size
+	rec.sentAt = now
+	rec.retransmitted = rec.retransmitted || retx
+	rec.deliveredAtTx = c.delivered
+	rec.txTimeAtTx = c.deliveredTime
+	if rec.txTimeAtTx == 0 {
+		rec.txTimeAtTx = now
+	}
+	rec.firstTxAtTx = c.firstTxTime
+	rec.appLimited = c.appLimited
+	p.DeliveredAtSend = rec.deliveredAtTx
+	p.DeliveredTimeAtSend = rec.txTimeAtTx
+	p.AppLimitedAtSend = rec.appLimited
+
+	c.Stats.SentPackets++
+	c.Stats.SentBytes += uint64(p.Size)
+	if retx {
+		c.Stats.Retransmits++
+	}
+	if c.cfg.SendJitter > 0 {
+		// Order-preserving host-processing jitter (see Config.SendJitter).
+		at := now + sim.Time(c.rng.Float64()*float64(c.cfg.SendJitter))
+		if at < c.lastInjectTime {
+			at = c.lastInjectTime
+		}
+		c.lastInjectTime = at
+		c.eng.At(at, func() { c.node.Inject(p) })
+	} else {
+		c.node.Inject(p)
+	}
+	// Arm the retransmission timer only if idle: re-arming on every send
+	// would let a steady stream of new data postpone loss detection
+	// indefinitely. The timer is re-armed fresh on cumulative ACK advance.
+	if c.rtoEvent == nil || c.rtoEvent.Cancelled() {
+		c.armRTO()
+	}
+}
+
+// Deliver processes an incoming ACK (netem.Endpoint).
+func (c *Conn) Deliver(p *packet.Packet) {
+	if !p.HasFlag(packet.FlagACK) {
+		return
+	}
+	now := c.eng.Now()
+	ack := p.Ack
+	if ack > c.sndNxt {
+		ack = c.sndNxt // corrupt/stale guard
+	}
+
+	// Absorb SACK blocks into the scoreboard. Newly SACKed bytes count as
+	// delivered (Linux rate-sample semantics).
+	var newlySacked int64
+	for _, b := range p.SACK {
+		if b.End <= c.sndUna {
+			continue
+		}
+		start := b.Start
+		if start < c.sndUna {
+			start = c.sndUna
+		}
+		covered := c.sacked.contains(start)
+		nb := c.sacked.add(start, b.End)
+		newlySacked += nb
+		// SACK-based RTT sample (as Linux takes): the first time a block
+		// covers a segment we still hold a clean record for.
+		if nb > 0 && !covered {
+			if rec, ok := c.sent[start]; ok && !rec.retransmitted {
+				c.updateRTT(now - rec.sentAt)
+			}
+		}
+		// A newly SACKed range below the retransmit pointer most likely
+		// acknowledges a retransmission: retire it from the pipe estimate
+		// (it would otherwise linger until the cumulative ACK, inflating
+		// the pipe and stalling the sender for the rest of recovery).
+		if nb > 0 && start < c.retxPtr && c.retxOut > 0 {
+			dec := nb
+			if dec > c.retxOut {
+				dec = c.retxOut
+			}
+			c.retxOut -= dec
+		}
+	}
+	if newlySacked > 0 {
+		c.delivered += newlySacked
+		c.deliveredTime = now
+	}
+
+	if ack <= c.sndUna {
+		// Duplicate ACK.
+		if c.sndNxt > c.sndUna && ack == c.sndUna {
+			c.onDupAck(newlySacked)
+		}
+		return
+	}
+
+	ackedBytes := ack - c.sndUna
+	rs := c.buildRateSample(ack, ackedBytes, now)
+
+	// Retire scoreboard state below the new cumulative ACK.
+	sackedBelow := c.sacked.trimBelow(ack)
+	freshlyAcked := ackedBytes - sackedBelow // bytes not previously SACKed
+	c.delivered += freshlyAcked
+	c.deliveredTime = now
+	if c.retxOut > 0 {
+		// Retransmissions are acknowledged through previously-unSACKed
+		// ranges; retire them conservatively.
+		dec := freshlyAcked
+		if dec > c.retxOut {
+			dec = c.retxOut
+		}
+		c.retxOut -= dec
+	}
+	c.clearSent(c.sndUna, ack)
+	c.sndUna = ack
+	if c.retxPtr < ack {
+		c.retxPtr = ack
+	}
+	c.dupAcks = 0
+	c.backoff = 0
+
+	if p.HasFlag(packet.FlagECE) && c.cfg.ECN {
+		if reactor, ok := c.cc.(ECNReactor); ok {
+			// The algorithm owns its ECN response (DCTCP-style
+			// fraction-proportional reduction).
+			c.Stats.ECEReductions++
+			reactor.OnECE(c, rs)
+		} else if c.sndUna > c.eceSeq && !c.inRecovery {
+			// Default: one window reduction per RTT (RFC 3168 style).
+			c.eceSeq = c.sndNxt
+			c.Stats.ECEReductions++
+			c.cc.OnEnterRecovery(c)
+			c.cc.OnExitRecovery(c)
+		}
+	}
+
+	if c.inRecovery {
+		if ack >= c.recoverSeq {
+			// Full ACK: recovery completes.
+			c.inRecovery = false
+			c.retxOut = 0
+			c.lostMark = 0
+			c.cc.OnExitRecovery(c)
+		}
+		c.cc.OnRecoveryAck(c, rs)
+	} else {
+		c.cc.OnAck(c, rs)
+	}
+
+	c.Stats.AckedBytes += ackedBytes
+	if c.cfg.DataLimit > 0 && c.sndUna >= c.cfg.DataLimit && !c.finished {
+		c.finished = true
+		c.cancelRTO()
+		if c.OnFinish != nil {
+			c.OnFinish()
+		}
+		return
+	}
+	c.armRTO()
+	c.trySend()
+}
+
+// buildRateSample computes the RTT and delivery-rate sample for this ACK.
+// It must run before the scoreboard is trimmed (it walks sent records).
+func (c *Conn) buildRateSample(ack, ackedBytes int64, now sim.Time) RateSample {
+	rs := RateSample{AckedBytes: ackedBytes}
+
+	// Sample from the most recently *sent* segment in the acked range: a
+	// cumulative ACK can jump over segments SACKed long ago, whose ancient
+	// send times must not pollute the RTT estimate.
+	var newest *sentRecord
+	for seq := c.sndUna; seq < ack; {
+		rec, ok := c.sent[seq]
+		if !ok {
+			break
+		}
+		if newest == nil || rec.sentAt > newest.sentAt {
+			newest = rec
+		}
+		seq += int64(rec.size)
+	}
+	rs.Delivered = c.delivered + ackedBytes // post-update view
+
+	if newest != nil {
+		if !newest.retransmitted {
+			rtt := now - newest.sentAt
+			rs.RTT = rtt
+			c.updateRTT(rtt)
+
+			// Delivery-rate sample (Linux tcp_rate style): the interval is
+			// the larger of the send-side and ack-side spans, guarding
+			// against bursts inflating the estimate; samples from
+			// retransmitted segments are skipped (Karn's rule for rates).
+			sndInterval := newest.sentAt - newest.firstTxAtTx
+			ackInterval := now - newest.txTimeAtTx
+			interval := sndInterval
+			if ackInterval > interval {
+				interval = ackInterval
+			}
+			if interval > 0 {
+				rs.DeliveryRate = float64(c.delivered+ackedBytes-newest.deliveredAtTx) / interval.Seconds()
+			}
+		}
+		c.firstTxTime = newest.sentAt
+		rs.IsAppLimited = newest.appLimited
+		if newest.deliveredAtTx >= c.nextRoundDelivered {
+			c.nextRoundDelivered = c.delivered + ackedBytes
+			c.roundCount++
+			rs.RoundStart = true
+		}
+	}
+	rs.InFlight = c.sndNxt - ack
+	return rs
+}
+
+func (c *Conn) segSizeAt(seq int64) int32 {
+	if rec, ok := c.sent[seq]; ok {
+		return rec.size
+	}
+	return int32(c.cfg.MSS)
+}
+
+func (c *Conn) clearSent(from, to int64) {
+	for seq := from; seq < to; {
+		rec, ok := c.sent[seq]
+		if !ok {
+			// Sizes are uniform except possibly the final segment; step by
+			// MSS to resynchronise.
+			seq += int64(c.cfg.MSS)
+			continue
+		}
+		delete(c.sent, seq)
+		seq += int64(rec.size)
+	}
+}
+
+func (c *Conn) onDupAck(newlySacked int64) {
+	c.dupAcks++
+	if c.inRecovery {
+		c.trySend() // SACK opened pipe space
+		return
+	}
+	// Enter recovery on the classic third duplicate ACK, or as soon as the
+	// scoreboard shows more than three segments' worth of SACKed data
+	// (RFC 6675 loss detection).
+	if c.dupAcks >= 3 || c.sacked.total() > 3*int64(c.cfg.MSS) {
+		c.enterRecovery()
+	}
+}
+
+func (c *Conn) enterRecovery() {
+	c.inRecovery = true
+	c.recoverSeq = c.sndNxt
+	c.retxPtr = c.sndUna
+	c.retxOut = 0
+	c.Stats.FastRecoveries++
+	c.cc.OnEnterRecovery(c)
+	// Fast retransmit the first hole unconditionally (the pipe may still
+	// exceed the reduced window, but the hole must be repaired to make
+	// progress).
+	if seq := c.nextRetxSeq(); seq >= 0 {
+		size := c.segSizeAt(seq)
+		c.transmit(seq, size, true)
+		c.retxOut += int64(size)
+		c.retxPtr = seq + int64(size)
+	}
+	c.trySend()
+}
+
+// updateRTT implements RFC 6298 smoothing.
+func (c *Conn) updateRTT(rtt sim.Time) {
+	if c.MinRTTSeen == 0 || rtt < c.MinRTTSeen {
+		c.MinRTTSeen = rtt
+	}
+	if c.srtt == 0 {
+		c.srtt = rtt
+		c.rttvar = rtt / 2
+	} else {
+		diff := c.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		c.rttvar = (3*c.rttvar + diff) / 4
+		c.srtt = (7*c.srtt + rtt) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < c.cfg.MinRTO {
+		c.rto = c.cfg.MinRTO
+	}
+}
+
+func (c *Conn) armRTO() {
+	c.cancelRTO()
+	if c.sndNxt == c.sndUna {
+		return
+	}
+	timeout := c.rto << uint(c.backoff)
+	if timeout > sim.Duration(60e9) {
+		timeout = sim.Duration(60e9)
+	}
+	c.rtoEvent = c.eng.Schedule(timeout, c.onRTO)
+}
+
+func (c *Conn) cancelRTO() {
+	if c.rtoEvent != nil {
+		c.eng.Cancel(c.rtoEvent)
+		c.rtoEvent = nil
+	}
+}
+
+// onRTO handles a retransmission timeout. With SACK there is no go-back-N:
+// the sender re-enters recovery, presumes all unSACKed in-flight data lost,
+// and repairs holes under the collapsed window.
+func (c *Conn) onRTO() {
+	if c.finished || c.sndNxt == c.sndUna {
+		return
+	}
+	c.Stats.Timeouts++
+	c.backoff++
+	if c.backoff > 8 {
+		c.backoff = 8
+	}
+	c.dupAcks = 0
+	c.cc.OnRTO(c)
+	c.inRecovery = true
+	c.recoverSeq = c.sndNxt
+	c.lostMark = c.sndNxt
+	c.retxPtr = c.sndUna
+	c.retxOut = 0
+	c.nextSendTime = 0
+	// Re-key rate sampling; everything outstanding is suspect.
+	if rec, ok := c.sent[c.sndUna]; ok {
+		rec.retransmitted = true
+	}
+	c.armRTO()
+	// Retransmit the first hole immediately, bypassing the (collapsed)
+	// window check, to restart the ACK clock.
+	if seq := c.nextRetxSeq(); seq >= 0 {
+		size := c.segSizeAt(seq)
+		c.transmit(seq, size, true)
+		c.retxOut += int64(size)
+		c.retxPtr = seq + int64(size)
+	}
+	c.trySend()
+}
+
+func (c *Conn) String() string {
+	return fmt.Sprintf("conn{%s cc=%s cwnd=%.0f una=%d nxt=%d}", c.cfg.Key, c.cc.Name(), c.Cwnd, c.sndUna, c.sndNxt)
+}

@@ -1,0 +1,131 @@
+package tcp
+
+// intervalSet maintains a sorted list of disjoint half-open byte ranges.
+// It backs both the receiver's out-of-order buffer and the sender's SACK
+// scoreboard. The list stays short in practice (one entry per loss hole),
+// so linear operations are fine.
+type intervalSet struct {
+	ivs []interval
+}
+
+// add merges [start, end) into the set, returning the number of bytes that
+// were not previously covered.
+func (s *intervalSet) add(start, end int64) int64 {
+	if start >= end {
+		return 0
+	}
+	newBytes := end - start
+	out := s.ivs[:0:0]
+	placed := false
+	for _, iv := range s.ivs {
+		switch {
+		case iv.end < start:
+			out = append(out, iv)
+		case iv.start > end:
+			if !placed {
+				out = append(out, interval{start, end})
+				placed = true
+			}
+			out = append(out, iv)
+		default:
+			// Overlap or adjacency: fold into the pending interval.
+			overlapLo, overlapHi := max64(iv.start, start), min64(iv.end, end)
+			if overlapHi > overlapLo {
+				newBytes -= overlapHi - overlapLo
+			}
+			if iv.start < start {
+				start = iv.start
+			}
+			if iv.end > end {
+				end = iv.end
+			}
+		}
+	}
+	if !placed {
+		out = append(out, interval{start, end})
+	}
+	s.ivs = out
+	return newBytes
+}
+
+// trimBelow removes coverage below bound, returning the bytes removed.
+func (s *intervalSet) trimBelow(bound int64) int64 {
+	var removed int64
+	out := s.ivs[:0]
+	for _, iv := range s.ivs {
+		switch {
+		case iv.end <= bound:
+			removed += iv.end - iv.start
+		case iv.start < bound:
+			removed += bound - iv.start
+			out = append(out, interval{bound, iv.end})
+		default:
+			out = append(out, iv)
+		}
+	}
+	s.ivs = out
+	return removed
+}
+
+// contains reports whether seq is covered.
+func (s *intervalSet) contains(seq int64) bool {
+	for _, iv := range s.ivs {
+		if seq < iv.start {
+			return false
+		}
+		if seq < iv.end {
+			return true
+		}
+	}
+	return false
+}
+
+// nextUncovered returns the first byte ≥ seq that is not covered.
+func (s *intervalSet) nextUncovered(seq int64) int64 {
+	for _, iv := range s.ivs {
+		if seq < iv.start {
+			return seq
+		}
+		if seq < iv.end {
+			seq = iv.end
+		}
+	}
+	return seq
+}
+
+// max returns the highest covered byte boundary, or 0 when empty.
+func (s *intervalSet) max() int64 {
+	if len(s.ivs) == 0 {
+		return 0
+	}
+	return s.ivs[len(s.ivs)-1].end
+}
+
+// total returns the covered byte count.
+func (s *intervalSet) total() int64 {
+	var t int64
+	for _, iv := range s.ivs {
+		t += iv.end - iv.start
+	}
+	return t
+}
+
+// clear empties the set.
+func (s *intervalSet) clear() { s.ivs = s.ivs[:0] }
+
+// len returns the number of disjoint ranges.
+func (s *intervalSet) len() int { return len(s.ivs) }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,170 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalSetAddMerge(t *testing.T) {
+	var s intervalSet
+	if got := s.add(10, 20); got != 10 {
+		t.Fatalf("fresh add should cover 10 bytes, got %d", got)
+	}
+	if got := s.add(15, 25); got != 5 {
+		t.Fatalf("overlapping add should cover 5 new bytes, got %d", got)
+	}
+	if s.len() != 1 || s.max() != 25 {
+		t.Fatalf("intervals should merge: %+v", s.ivs)
+	}
+	if got := s.add(30, 40); got != 10 || s.len() != 2 {
+		t.Fatalf("disjoint add wrong: %d, %+v", got, s.ivs)
+	}
+	if got := s.add(20, 30); got != 5 {
+		t.Fatalf("bridging add should cover the 25–30 gap only: %d", got)
+	}
+	if s.len() != 1 || s.max() != 40 {
+		t.Fatalf("bridge should merge everything: %+v", s.ivs)
+	}
+	if s.add(12, 18) != 0 {
+		t.Fatal("fully-covered add should report 0 new bytes")
+	}
+}
+
+func TestIntervalSetEmptyAdd(t *testing.T) {
+	var s intervalSet
+	if s.add(5, 5) != 0 || s.add(7, 3) != 0 || s.len() != 0 {
+		t.Fatal("degenerate ranges must be ignored")
+	}
+}
+
+func TestIntervalSetTrimBelow(t *testing.T) {
+	var s intervalSet
+	s.add(10, 20)
+	s.add(30, 40)
+	if got := s.trimBelow(15); got != 5 {
+		t.Fatalf("trim should remove 5 bytes, got %d", got)
+	}
+	if s.contains(14) || !s.contains(15) {
+		t.Fatal("trim boundary wrong")
+	}
+	if got := s.trimBelow(50); got != 15 {
+		t.Fatalf("full trim should remove the rest (15), got %d", got)
+	}
+	if s.len() != 0 {
+		t.Fatal("set should be empty after full trim")
+	}
+}
+
+func TestIntervalSetQueries(t *testing.T) {
+	var s intervalSet
+	s.add(10, 20)
+	s.add(30, 40)
+	if !s.contains(10) || !s.contains(19) || s.contains(20) || s.contains(25) {
+		t.Fatal("contains wrong")
+	}
+	if s.nextUncovered(5) != 5 {
+		t.Fatal("uncovered before first interval")
+	}
+	if s.nextUncovered(12) != 20 {
+		t.Fatal("uncovered inside interval should skip to its end")
+	}
+	if s.nextUncovered(35) != 40 {
+		t.Fatal("uncovered inside last interval")
+	}
+	if s.total() != 20 {
+		t.Fatalf("total = %d", s.total())
+	}
+	s.clear()
+	if s.len() != 0 || s.max() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+// TestIntervalSetAgainstReference: compare against a brute-force bitmap for
+// arbitrary operation sequences.
+func TestIntervalSetAgainstReference(t *testing.T) {
+	const space = 256
+	f := func(ops []uint16) bool {
+		var s intervalSet
+		ref := make([]bool, space)
+		for _, op := range ops {
+			a := int64(op % space)
+			b := int64((op >> 8) % space)
+			if a > b {
+				a, b = b, a
+			}
+			newBytes := s.add(a, b)
+			var refNew int64
+			for i := a; i < b; i++ {
+				if !ref[i] {
+					ref[i] = true
+					refNew++
+				}
+			}
+			if newBytes != refNew {
+				return false
+			}
+		}
+		// Check invariants: sorted, disjoint, queries agree.
+		for i := 1; i < s.len(); i++ {
+			if s.ivs[i].start <= s.ivs[i-1].end {
+				return false
+			}
+		}
+		var refTotal int64
+		for i := 0; i < space; i++ {
+			covered := ref[i]
+			if covered {
+				refTotal++
+			}
+			if s.contains(int64(i)) != covered {
+				return false
+			}
+		}
+		return s.total() == refTotal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrimAgainstReference validates trimBelow against the bitmap.
+func TestTrimAgainstReference(t *testing.T) {
+	const space = 128
+	f := func(adds []uint16, bound uint8) bool {
+		var s intervalSet
+		ref := make([]bool, space)
+		for _, op := range adds {
+			a := int64(op % space)
+			b := int64((op >> 8) % space)
+			if a > b {
+				a, b = b, a
+			}
+			s.add(a, b)
+			for i := a; i < b; i++ {
+				ref[i] = true
+			}
+		}
+		bd := int64(bound) % space
+		removed := s.trimBelow(bd)
+		var refRemoved int64
+		for i := int64(0); i < bd; i++ {
+			if ref[i] {
+				refRemoved++
+				ref[i] = false
+			}
+		}
+		if removed != refRemoved {
+			return false
+		}
+		for i := int64(0); i < space; i++ {
+			if s.contains(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package tcp
+
+import (
+	"cebinae/internal/netem"
+	"cebinae/internal/packet"
+	"cebinae/internal/sim"
+)
+
+// ReceiverConfig parameterises the receiving endpoint.
+type ReceiverConfig struct {
+	Key packet.FlowKey
+	// DelAckCount coalesces ACKs: one ACK per this many in-order data
+	// segments (default 1 = ACK every segment). Out-of-order arrivals
+	// always trigger an immediate (duplicate) ACK.
+	DelAckCount int
+	// DelAckTimeout flushes a pending delayed ACK (default 200 ms).
+	DelAckTimeout sim.Time
+}
+
+// ReceiverStats aggregates receive-side counters.
+type ReceiverStats struct {
+	RxPackets uint64
+	RxBytes   uint64
+	// GoodputBytes counts in-order application bytes delivered (cumulative
+	// ACK advances) — the paper's goodput metric.
+	GoodputBytes int64
+	DupAcksSent  uint64
+	AcksSent     uint64
+	// CEMarks counts received packets carrying a CE codepoint.
+	CEMarks uint64
+}
+
+// interval is a half-open received byte range [start, end).
+type interval struct{ start, end int64 }
+
+// Receiver is the data sink. It tracks the cumulative ACK point, buffers
+// out-of-order intervals, echoes ECN CE marks, and emits ACKs (delayed or
+// immediate) back to the sender.
+type Receiver struct {
+	cfg  ReceiverConfig
+	eng  *sim.Engine
+	node *netem.Node
+
+	rcvNxt   int64
+	ooo      intervalSet // sorted, disjoint, all > rcvNxt
+	pending  int
+	delEvent *sim.Event
+
+	// ceEcho latches ECN echo: once a CE is seen, ECE is set on ACKs until
+	// the sender's CWR is observed (simplified: until one full ACK sent).
+	ceEcho bool
+
+	Stats ReceiverStats
+
+	// GoodputAt, when non-nil, observes (time, newBytes) on every cumACK
+	// advance; metrics hook.
+	GoodputAt func(t sim.Time, newBytes int64)
+}
+
+// NewReceiver creates the sink and registers it for the data flow key on
+// node dst.
+func NewReceiver(eng *sim.Engine, dst *netem.Node, cfg ReceiverConfig) *Receiver {
+	if cfg.DelAckCount == 0 {
+		cfg.DelAckCount = 1
+	}
+	if cfg.DelAckTimeout == 0 {
+		cfg.DelAckTimeout = sim.Duration(200e6)
+	}
+	r := &Receiver{cfg: cfg, eng: eng, node: dst}
+	dst.Register(cfg.Key, r)
+	return r
+}
+
+// RcvNxt returns the next expected byte (cumulative ACK point).
+func (r *Receiver) RcvNxt() int64 { return r.rcvNxt }
+
+// Deliver processes an arriving data segment (netem.Endpoint).
+func (r *Receiver) Deliver(p *packet.Packet) {
+	r.Stats.RxPackets++
+	r.Stats.RxBytes += uint64(p.Size)
+	if p.ECN == packet.ECNCE {
+		r.Stats.CEMarks++
+		r.ceEcho = true
+	}
+	if !p.IsData() {
+		return
+	}
+
+	end := p.Seq + int64(p.PayloadSize)
+	switch {
+	case end <= r.rcvNxt:
+		// Entirely duplicate data: immediate ACK restates rcv_nxt.
+		r.sendAck(true)
+	case p.Seq > r.rcvNxt:
+		// Out of order: buffer and emit an immediate duplicate ACK.
+		start := p.Seq
+		if start < r.rcvNxt {
+			start = r.rcvNxt
+		}
+		r.ooo.add(start, end)
+		r.sendAck(true)
+	default:
+		// In-order (possibly overlapping) data: advance and absorb any
+		// contiguous buffered intervals.
+		old := r.rcvNxt
+		r.rcvNxt = end
+		r.mergeOOO()
+		advanced := r.rcvNxt - old
+		r.Stats.GoodputBytes += advanced
+		if r.GoodputAt != nil {
+			r.GoodputAt(r.eng.Now(), advanced)
+		}
+		r.pending++
+		if r.pending >= r.cfg.DelAckCount || r.ooo.len() > 0 {
+			r.sendAck(false)
+		} else if r.delEvent == nil || r.delEvent.Cancelled() {
+			r.delEvent = r.eng.Schedule(r.cfg.DelAckTimeout, func() { r.sendAck(false) })
+		}
+	}
+}
+
+func (r *Receiver) mergeOOO() {
+	i := 0
+	for i < len(r.ooo.ivs) && r.ooo.ivs[i].start <= r.rcvNxt {
+		if r.ooo.ivs[i].end > r.rcvNxt {
+			r.rcvNxt = r.ooo.ivs[i].end
+		}
+		i++
+	}
+	r.ooo.ivs = r.ooo.ivs[i:]
+}
+
+func (r *Receiver) sendAck(dup bool) {
+	if r.delEvent != nil {
+		r.eng.Cancel(r.delEvent)
+		r.delEvent = nil
+	}
+	r.pending = 0
+	flags := packet.FlagACK
+	if r.ceEcho {
+		flags |= packet.FlagECE
+		r.ceEcho = false
+	}
+	ack := &packet.Packet{
+		Flow:   r.cfg.Key.Reverse(),
+		Ack:    r.rcvNxt,
+		Flags:  flags,
+		Size:   packet.HeaderBytes,
+		SentAt: r.eng.Now(),
+	}
+	// Attach up to three SACK blocks (RFC 2018), lowest first, so the
+	// sender's scoreboard repairs the earliest holes first.
+	for i, iv := range r.ooo.ivs {
+		if i == 3 {
+			break
+		}
+		ack.SACK = append(ack.SACK, packet.SackBlock{Start: iv.start, End: iv.end})
+	}
+	r.Stats.AcksSent++
+	if dup {
+		r.Stats.DupAcksSent++
+	}
+	r.node.Inject(ack)
+}

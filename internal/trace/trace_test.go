@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"testing"
+
+	"cebinae/internal/sim"
+)
+
+func smallConfig(seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Duration = sim.Duration(100e6) // 100 ms
+	cfg.FlowsPerMinute = 60000
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig(1))
+	b := Generate(smallConfig(1))
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d", i)
+		}
+	}
+	c := Generate(smallConfig(2))
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds must give different traces")
+		}
+	}
+}
+
+func TestGenerateTimeSortedAndBounded(t *testing.T) {
+	cfg := smallConfig(3)
+	pkts := Generate(cfg)
+	if len(pkts) == 0 {
+		t.Fatal("empty trace")
+	}
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].At < pkts[i-1].At {
+			t.Fatalf("not time sorted at %d", i)
+		}
+	}
+	for _, p := range pkts {
+		if p.At < 0 || p.At >= cfg.Duration {
+			t.Fatalf("packet outside trace window: %v", p.At)
+		}
+		if p.Bytes <= 0 {
+			t.Fatalf("non-positive packet size")
+		}
+	}
+}
+
+func TestFlowChurnMatchesRate(t *testing.T) {
+	cfg := smallConfig(4)
+	pkts := Generate(cfg)
+	flows := map[uint64]bool{}
+	for _, p := range pkts {
+		flows[p.Flow.Hash(0)] = true
+	}
+	// 60k flows/min over 100 ms ⇒ ≈100 arrivals; generator may thin but
+	// the order of magnitude must hold.
+	if len(flows) < 30 || len(flows) > 300 {
+		t.Fatalf("flow count %d far from expected ≈100", len(flows))
+	}
+}
+
+func TestHeavyTailSkew(t *testing.T) {
+	cfg := smallConfig(5)
+	cfg.Duration = sim.Duration(500e6)
+	pkts := Generate(cfg)
+	agg := Aggregate(pkts, 0, cfg.Duration)
+	if len(agg) < 10 {
+		t.Skip("trace too small for skew check")
+	}
+	var total, top10 int64
+	for i, fc := range agg {
+		total += fc.Bytes
+		if i < len(agg)/10 {
+			top10 += fc.Bytes
+		}
+	}
+	// Heavy tail: the top decile of flows should carry well over half of
+	// the bytes.
+	if float64(top10) < 0.5*float64(total) {
+		t.Fatalf("insufficient skew: top 10%% flows carry %.1f%% of bytes", 100*float64(top10)/float64(total))
+	}
+}
+
+func TestAggregateWindowing(t *testing.T) {
+	pkts := []Pkt{
+		{At: 10, Bytes: 100},
+		{At: 20, Bytes: 200},
+		{At: 30, Bytes: 300},
+	}
+	for i := range pkts {
+		pkts[i].Flow.SrcPort = uint16(i) // distinct flows
+	}
+	agg := Aggregate(pkts, 15, 30)
+	if len(agg) != 1 || agg[0].Bytes != 200 {
+		t.Fatalf("window [15,30) should catch only the middle packet: %+v", agg)
+	}
+}
+
+func TestAggregateSortsDescending(t *testing.T) {
+	cfg := smallConfig(6)
+	pkts := Generate(cfg)
+	agg := Aggregate(pkts, 0, cfg.Duration)
+	for i := 1; i < len(agg); i++ {
+		if agg[i].Bytes > agg[i-1].Bytes {
+			t.Fatal("aggregate not sorted by bytes descending")
+		}
+	}
+}
+
+func TestLinkRateThinning(t *testing.T) {
+	cfg := smallConfig(7)
+	cfg.LinkBps = 1e6 // absurdly slow link forces thinning
+	pkts := Generate(cfg)
+	var total float64
+	for _, p := range pkts {
+		total += float64(p.Bytes)
+	}
+	budget := cfg.LinkBps / 8 * cfg.Duration.Seconds()
+	if total > budget*1.3 {
+		t.Fatalf("thinning failed: %v bytes vs budget %v", total, budget)
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	rng := sim.NewRand(1)
+	for i := 0; i < 100000; i++ {
+		v := boundedPareto(rng, 1.2, 400, 1<<30)
+		if v < 400*0.999 || v > float64(int64(1)<<30)*1.001 {
+			t.Fatalf("bounded Pareto out of range: %v", v)
+		}
+	}
+}
