@@ -1,0 +1,36 @@
+# Developer entry points. `make check` is the gate every change must pass:
+# it builds all packages, vets them, and runs the full test suite with the
+# race detector on (the fleet orchestrator and the parallel bench paths
+# are concurrent code).
+
+GO ?= go
+
+.PHONY: check build vet test race bench report sweep clean
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Regenerate the quick evaluation report on all cores with checkpointing.
+report:
+	$(GO) run ./cmd/cebinae-bench -scale quick -resume bench_quick.jsonl -o bench_report_quick.txt
+
+# Default parameter sweep (Fig.12 family): JSONL + CSV.
+sweep:
+	$(GO) run ./cmd/cebinae-sweep -store sweep.jsonl -csv sweep.csv -resume
+
+clean:
+	rm -f bench_quick.jsonl bench_report_quick.txt sweep.jsonl sweep.csv

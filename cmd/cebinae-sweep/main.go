@@ -1,0 +1,220 @@
+// cebinae-sweep runs Cartesian parameter sweeps — qdisc × scale ×
+// (δp=δf=τ) threshold — over a dumbbell scenario family through the
+// parallel fleet orchestrator. Every grid cell is one checkpointed job:
+// results stream into a JSONL store as they complete, a killed sweep is
+// resumed with -resume (only the remaining cells run), and a CSV summary
+// plus an aligned text table are emitted at the end.
+//
+//	cebinae-sweep                                  # Fig.12 family, quick scale
+//	cebinae-sweep -scales quick,medium -p 8
+//	cebinae-sweep -qdiscs fifo,cebinae -thresholds 1,5,25 -flows vegas:16,newreno:1
+//	cebinae-sweep -resume -store sweep.jsonl       # finish an interrupted grid
+//
+// Progress and timing go to stderr; the text table goes to stdout; the
+// JSONL store and CSV summary go to -store / -csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cebinae/experiments"
+	"cebinae/internal/fleet"
+)
+
+func main() {
+	def := experiments.DefaultSweepConfig()
+	var (
+		qdiscs     = flag.String("qdiscs", "fifo,fq,cebinae", "comma list of disciplines: fifo | fq | afq | pcq | strawman | cebinae")
+		scales     = flag.String("scales", "quick", "comma list of horizons: quick | medium | full or fractions (e.g. 0.1,0.5)")
+		thresholds = flag.String("thresholds", "1,2,5,10,25,50,75,100", "comma list of Cebinae δp=δf=τ values in percent")
+		bw         = flag.String("bw", "100M", "bottleneck bandwidth (e.g. 100M, 1G)")
+		buffer     = flag.Int("buffer", 850, "bottleneck buffer in MTUs (1500 B)")
+		flows      = flag.String("flows", "newreno:16,cubic:1", "comma list of cca:count groups")
+		rtt        = flag.String("rtt", "50ms", "comma list of per-group base RTTs (one value applies to all)")
+		seed       = flag.Uint64("seed", def.Seed, "simulation seed")
+		parallel   = flag.Int("p", 0, "worker pool size (0 = GOMAXPROCS)")
+		timeout    = flag.Duration("timeout", 0, "per-job wall-clock watchdog (0 = none), e.g. 10m")
+		storePath  = flag.String("store", "sweep.jsonl", "JSONL result store (one line per completed grid cell)")
+		resume     = flag.Bool("resume", false, "reuse an existing store, skipping its completed cells")
+		csvPath    = flag.String("csv", "sweep.csv", "CSV summary path (empty = skip)")
+	)
+	flag.Parse()
+
+	cfg := def
+	cfg.BufferBytes = *buffer * 1500
+	cfg.Seed = *seed
+	var err error
+	if cfg.BottleneckBps, err = parseBW(*bw); err != nil {
+		fatal(err)
+	}
+	if cfg.Groups, err = parseGroups(*flows, *rtt); err != nil {
+		fatal(err)
+	}
+	if cfg.Qdiscs, err = parseQdiscs(*qdiscs); err != nil {
+		fatal(err)
+	}
+	if cfg.Scales, err = parseScales(*scales); err != nil {
+		fatal(err)
+	}
+	if cfg.ThresholdPcts, err = parseFloats(*thresholds); err != nil {
+		fatal(err)
+	}
+
+	if !*resume {
+		if _, err := os.Stat(*storePath); err == nil {
+			fatal(fmt.Errorf("store %s already exists; pass -resume to continue it or remove it for a fresh sweep", *storePath))
+		}
+	}
+	store, err := fleet.OpenStore(*storePath)
+	if err != nil {
+		fatal(err)
+	}
+	defer store.Close()
+
+	jobs := cfg.Jobs()
+	fmt.Fprintf(os.Stderr, "cebinae-sweep: %d grid cells (%d already in %s)\n", len(jobs), store.Len(), *storePath)
+	start := time.Now()
+	sum, err := fleet.Run(jobs, fleet.Options{
+		Parallelism: *parallel,
+		Timeout:     *timeout,
+		Store:       store,
+		Progress:    os.Stderr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	rows, err := experiments.DecodeSweepResults(sum.Results)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(experiments.RenderSweep(rows))
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.WriteSweepCSV(f, rows); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "cebinae-sweep: %v elapsed for %v of simulation work — %.2fx vs sequential; JSONL %s",
+		time.Since(start).Round(time.Millisecond), sum.Work.Round(time.Millisecond), sum.Speedup(), *storePath)
+	if *csvPath != "" {
+		fmt.Fprintf(os.Stderr, ", CSV %s", *csvPath)
+	}
+	fmt.Fprintln(os.Stderr)
+	if sum.Failed > 0 {
+		fatal(fmt.Errorf("%d grid cell(s) failed — inspect %s", sum.Failed, *storePath))
+	}
+}
+
+func parseQdiscs(s string) ([]experiments.QdiscKind, error) {
+	known := map[experiments.QdiscKind]bool{
+		experiments.FIFO: true, experiments.FQ: true, experiments.AFQ: true,
+		experiments.PCQ: true, experiments.Strawman: true, experiments.Cebinae: true,
+	}
+	var out []experiments.QdiscKind
+	for _, part := range strings.Split(s, ",") {
+		k := experiments.QdiscKind(strings.TrimSpace(part))
+		if !known[k] {
+			return nil, fmt.Errorf("unknown qdisc %q", k)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func parseScales(s string) ([]experiments.Scale, error) {
+	var out []experiments.Scale
+	for _, part := range strings.Split(s, ",") {
+		switch part = strings.TrimSpace(part); part {
+		case "quick":
+			out = append(out, experiments.Quick)
+		case "medium":
+			out = append(out, experiments.Medium)
+		case "full":
+			out = append(out, experiments.Full)
+		default:
+			v, err := strconv.ParseFloat(part, 64)
+			if err != nil || v <= 0 || v > 1 {
+				return nil, fmt.Errorf("bad scale %q (want quick|medium|full or a fraction in (0,1])", part)
+			}
+			out = append(out, experiments.Scale(v))
+		}
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad threshold %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseBW(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1e9, strings.TrimSuffix(s, "G")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1e6, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1e3, strings.TrimSuffix(s, "K")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad bandwidth %q", s)
+	}
+	return v * mult, nil
+}
+
+func parseGroups(flows, rtts string) ([]experiments.FlowGroup, error) {
+	var groups []experiments.FlowGroup
+	for _, part := range strings.Split(flows, ",") {
+		cc, cnt, ok := strings.Cut(strings.TrimSpace(part), ":")
+		n := 1
+		if ok {
+			v, err := strconv.Atoi(cnt)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("bad flow group %q", part)
+			}
+			n = v
+		}
+		groups = append(groups, experiments.FlowGroup{CC: cc, Count: n})
+	}
+	rttParts := strings.Split(rtts, ",")
+	for i := range groups {
+		sel := rttParts[0]
+		if i < len(rttParts) {
+			sel = rttParts[i]
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(sel))
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad rtt %q", sel)
+		}
+		groups[i].RTT = experiments.SimTime(d.Nanoseconds())
+	}
+	return groups, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cebinae-sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cebinae/internal/fleet"
+)
+
+// This file enumerates the evaluation suite as fleet jobs so the whole
+// report can run on a parallel worker pool. Every independent simulation
+// (each Table-2 row, each figure, each extension×discipline cell) becomes
+// one fleet.Job; a BenchSection then reassembles the checkpointed JSON
+// values into the same report text the sequential harness printed. Jobs
+// construct their own sim.Engine inside the closure, so results are
+// independent of worker count and scheduling order.
+
+// Getter fetches the stored JSON value of one job by ID, failing if the
+// job failed or was never run.
+type Getter func(jobID string) (json.RawMessage, error)
+
+// BenchSection is one report section: the fleet jobs that measure it and
+// the renderer that assembles their results into the section's text.
+type BenchSection struct {
+	ID     string
+	Desc   string
+	Jobs   []fleet.Job
+	Render func(get Getter) (string, error)
+}
+
+// decodeJob fetches and unmarshals one job's stored value.
+func decodeJob[T any](get Getter, id string) (T, error) {
+	var v T
+	raw, err := get(id)
+	if err != nil {
+		return v, err
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return v, fmt.Errorf("experiments: decode %s: %w", id, err)
+	}
+	return v, nil
+}
+
+// jobPrefix keys checkpoint IDs by scale, so a store written at one
+// -scale is never silently reused by a resume at another.
+func jobPrefix(scale Scale) string { return fmt.Sprintf("s%g/", float64(scale)) }
+
+// singleJobSection wraps a one-simulation experiment.
+func singleJobSection[T any](prefix, id, desc string, run func() T, render func(T) string) BenchSection {
+	jobID := prefix + id
+	return BenchSection{
+		ID:   id,
+		Desc: desc,
+		Jobs: []fleet.Job{{ID: jobID, Desc: desc, Run: func() (any, error) { return run(), nil }}},
+		Render: func(get Getter) (string, error) {
+			v, err := decodeJob[T](get, jobID)
+			if err != nil {
+				return "", err
+			}
+			return render(v), nil
+		},
+	}
+}
+
+// perKindSection fans one experiment out over qdisc kinds, one job per
+// kind, and renders the collected slice.
+func perKindSection[T any](prefix, id, desc string, kinds []QdiscKind, run func(QdiscKind) T, render func([]T) string) BenchSection {
+	jobs := make([]fleet.Job, len(kinds))
+	for i, kind := range kinds {
+		kind := kind
+		jobs[i] = fleet.Job{
+			ID:   fmt.Sprintf("%s%s/%s", prefix, id, kind),
+			Desc: fmt.Sprintf("%s under %s", desc, kind),
+			Run:  func() (any, error) { return run(kind), nil },
+		}
+	}
+	return BenchSection{
+		ID:   id,
+		Desc: desc,
+		Jobs: jobs,
+		Render: func(get Getter) (string, error) {
+			out := make([]T, len(kinds))
+			for i, kind := range kinds {
+				v, err := decodeJob[T](get, fmt.Sprintf("%s%s/%s", prefix, id, kind))
+				if err != nil {
+					return "", err
+				}
+				out[i] = v
+			}
+			return render(out), nil
+		},
+	}
+}
+
+// table2Section fans Table 2 out one job per configuration row (each row
+// still measures its three disciplines, keeping the row a self-contained
+// deterministic unit).
+func table2Section(prefix string, scale Scale) BenchSection {
+	cfgs := Table2Rows()
+	jobs := make([]fleet.Job, len(cfgs))
+	for i, cfg := range cfgs {
+		i, cfg := i, cfg
+		jobs[i] = fleet.Job{
+			ID:   fmt.Sprintf("%stable2/%02d", prefix, i),
+			Desc: cfg.Label,
+			Run:  func() (any, error) { return RunTable2Row(cfg, scale), nil },
+		}
+	}
+	return BenchSection{
+		ID:   "table2",
+		Desc: "25-configuration sweep × {FIFO, FQ, Cebinae}",
+		Jobs: jobs,
+		Render: func(get Getter) (string, error) {
+			rows := make([]Table2Row, len(cfgs))
+			for i := range cfgs {
+				row, err := decodeJob[Table2Row](get, fmt.Sprintf("%stable2/%02d", prefix, i))
+				if err != nil {
+					return "", err
+				}
+				rows[i] = row
+			}
+			return RenderTable2(rows), nil
+		},
+	}
+}
+
+// Fig13Panels bundles both accuracy panels into one JSON-marshalable
+// job value.
+type Fig13Panels struct {
+	A []Fig13Point `json:"a"`
+	B []Fig13Point `json:"b"`
+}
+
+// BenchSections enumerates the full evaluation (paper + extensions) in
+// report order at the given scale.
+func BenchSections(scale Scale) []BenchSection {
+	ext3 := []QdiscKind{FIFO, FQ, Cebinae}
+	pre := jobPrefix(scale)
+	return []BenchSection{
+		singleJobSection(pre, "fig1", "RTT unfairness time series (2 NewReno)",
+			func() Fig1Result { return Fig1(scale) }, Fig1Result.Render),
+		table2Section(pre, scale),
+		singleJobSection(pre, "fig7", "16 Vegas vs 1 NewReno per-flow goodput",
+			func() Fig7Result { return Fig7(scale) }, Fig7Result.Render),
+		singleJobSection(pre, "fig8a", "128 NewReno vs 2 BBR goodput CDF",
+			func() Fig8Result { return Fig8a(scale) }, Fig8Result.Render),
+		singleJobSection(pre, "fig8b", "128 NewReno vs 4 Vegas goodput CDF",
+			func() Fig8Result { return Fig8b(scale) }, Fig8Result.Render),
+		singleJobSection(pre, "fig9", "RTT-asymmetry sweep (Cubic, 400 Mbps)",
+			func() []Fig9Point { return Fig9(scale) }, RenderFig9),
+		singleJobSection(pre, "fig10", "JFI time series with flow arrivals",
+			func() Fig10Result { return Fig10(scale) }, Fig10Result.Render),
+		singleJobSection(pre, "fig11", "parking-lot multi-bottleneck vs ideal max-min",
+			func() Fig11Result { return Fig11(scale) }, Fig11Result.Render),
+		singleJobSection(pre, "fig12", "threshold sensitivity sweep",
+			func() Fig12Result { return Fig12(scale) }, Fig12Result.Render),
+		singleJobSection(pre, "table3", "Tofino resource usage model",
+			Table3, RenderTable3),
+		singleJobSection(pre, "fig13", "heavy-hitter detection FPR/FNR",
+			func() Fig13Panels {
+				cfg := DefaultFig13Config(scale)
+				return Fig13Panels{A: Fig13a(cfg), B: Fig13b(cfg)}
+			},
+			func(p Fig13Panels) string { return RenderFig13(p.A, p.B) }),
+		perKindSection(pre, "ext-churn", "[extension] short-flow FCT under churn", ext3,
+			func(k QdiscKind) ExtChurnResult { return ExtChurn(k, scale) }, RenderExtChurn),
+		perKindSection(pre, "ext-udp", "[extension] blind-UDP containment", ext3,
+			func(k QdiscKind) ExtBlindUDPResult { return ExtBlindUDP(k, scale) }, RenderExtBlindUDP),
+		singleJobSection(pre, "ext-perflow", "[extension] §7 per-flow ⊤ ablation",
+			func() ExtPerFlowResult { return ExtPerFlow(scale) }, RenderExtPerFlow),
+		singleJobSection(pre, "ext-scalability", "[extension] Eq.1 scalability: AFQ vs Cebinae RTT sweep",
+			func() []ScalabilityPoint { return ExtScalability(scale) }, RenderExtScalability),
+		perKindSection(pre, "ext-strawman", "[extension] §3.2 strawman vs Cebinae redistribution",
+			[]QdiscKind{FIFO, Strawman, Cebinae},
+			func(k QdiscKind) ExtStrawmanResult { return ExtStrawman(k, scale) }, RenderExtStrawman),
+	}
+}
+
+// SectionJobs flattens the sections' jobs in order.
+func SectionJobs(sections []BenchSection) []fleet.Job {
+	var jobs []fleet.Job
+	for _, s := range sections {
+		jobs = append(jobs, s.Jobs...)
+	}
+	return jobs
+}
+
+// SummaryGetter adapts a fleet run summary into a Getter for section
+// rendering.
+func SummaryGetter(sum *fleet.Summary) Getter {
+	return func(id string) (json.RawMessage, error) {
+		r, ok := sum.Get(id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: job %s was not run", id)
+		}
+		if !r.OK {
+			return nil, fmt.Errorf("experiments: job %s failed after %d attempt(s): %s", id, r.Attempts, r.Err)
+		}
+		return r.Value, nil
+	}
+}

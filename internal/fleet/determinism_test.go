@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestParallelismDoesNotChangeResults runs the same deterministic job set
+// at parallelism 1 and 8 into two stores and asserts the sorted JSONL
+// files are byte-identical — the contract cebinae-bench's -p flag relies
+// on for byte-identical reports.
+func TestParallelismDoesNotChangeResults(t *testing.T) {
+	mkJobs := func() []Job {
+		jobs := make([]Job, 40)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job{
+				ID: fmt.Sprintf("sim/%02d", i),
+				Run: func() (any, error) {
+					// A small deterministic "simulation": an LCG-driven
+					// accumulation seeded by the job index, including a
+					// deterministic failure mode.
+					if i%13 == 7 {
+						return nil, fmt.Errorf("scenario %d diverged", i)
+					}
+					state := uint64(i)*2862933555777941757 + 3037000493
+					var acc float64
+					for k := 0; k < 10000; k++ {
+						state = state*6364136223846793005 + 1442695040888963407
+						acc += float64(state%1000) / 1000
+					}
+					return map[string]any{"index": i, "mean": acc / 10000}, nil
+				},
+			}
+		}
+		return jobs
+	}
+
+	sortedLines := func(path string) []byte {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+		sort.Slice(lines, func(i, k int) bool { return bytes.Compare(lines[i], lines[k]) < 0 })
+		return bytes.Join(lines, []byte("\n"))
+	}
+
+	dir := t.TempDir()
+	paths := map[int]string{1: filepath.Join(dir, "p1.jsonl"), 8: filepath.Join(dir, "p8.jsonl")}
+	for p, path := range paths {
+		st, err := OpenStore(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := Run(mkJobs(), Options{Parallelism: p, Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Close()
+		if len(sum.Results) != 40 {
+			t.Fatalf("p=%d recorded %d results", p, len(sum.Results))
+		}
+	}
+
+	p1, p8 := sortedLines(paths[1]), sortedLines(paths[8])
+	if !bytes.Equal(p1, p8) {
+		t.Fatalf("sorted JSONL stores differ between p=1 and p=8:\n--- p1 ---\n%s\n--- p8 ---\n%s", p1, p8)
+	}
+}

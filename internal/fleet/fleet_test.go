@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func ok(id string, v any) Job {
+	return Job{ID: id, Run: func() (any, error) { return v, nil }}
+}
+
+func TestRunCollectsSortedResults(t *testing.T) {
+	jobs := []Job{ok("c", 3), ok("a", 1), ok("b", 2)}
+	sum, err := Run(jobs, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Results) != 3 || sum.Failed != 0 {
+		t.Fatalf("got %d results, %d failed", len(sum.Results), sum.Failed)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if sum.Results[i].ID != want {
+			t.Errorf("result %d = %s, want %s", i, sum.Results[i].ID, want)
+		}
+	}
+	r, found := sum.Get("b")
+	if !found || !r.OK {
+		t.Fatalf("Get(b) = %+v, %v", r, found)
+	}
+	var v int
+	if err := json.Unmarshal(r.Value, &v); err != nil || v != 2 {
+		t.Fatalf("value roundtrip: %v %v", v, err)
+	}
+}
+
+func TestPanicRetriedThenRecordedOnce(t *testing.T) {
+	var calls atomic.Int32
+	flaky := Job{ID: "flaky", Run: func() (any, error) {
+		if calls.Add(1) < 3 {
+			panic("diverging simulation")
+		}
+		return "converged", nil
+	}}
+	sum, err := Run([]Job{flaky}, Options{Parallelism: 4, Attempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Results) != 1 {
+		t.Fatalf("recorded %d results, want exactly 1", len(sum.Results))
+	}
+	r := sum.Results[0]
+	if !r.OK || r.Attempts != 3 || r.Err != "" {
+		t.Fatalf("want success on attempt 3, got %+v", r)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("job ran %d times, want 3", calls.Load())
+	}
+}
+
+func TestAlwaysPanickingJobFailsWithoutKillingOthers(t *testing.T) {
+	jobs := []Job{
+		ok("steady-1", 1.0),
+		{ID: "crasher", Run: func() (any, error) { panic("division by zero flow count") }},
+		ok("steady-2", 2.0),
+	}
+	sum, err := Run(jobs, Options{Parallelism: 3, Attempts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", sum.Failed)
+	}
+	r, _ := sum.Get("crasher")
+	if r.OK || r.Attempts != 2 || !strings.Contains(r.Err, "division by zero flow count") {
+		t.Fatalf("crasher result %+v", r)
+	}
+	for _, id := range []string{"steady-1", "steady-2"} {
+		if r, _ := sum.Get(id); !r.OK {
+			t.Errorf("%s did not complete: %+v", id, r)
+		}
+	}
+}
+
+func TestPlainErrorNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	j := Job{ID: "erroring", Run: func() (any, error) {
+		calls.Add(1)
+		return nil, errors.New("unknown CC kangaroo")
+	}}
+	sum, err := Run([]Job{j}, Options{Attempts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sum.Results[0]
+	if r.OK || r.Attempts != 1 || calls.Load() != 1 {
+		t.Fatalf("plain error should record once: %+v (calls %d)", r, calls.Load())
+	}
+}
+
+func TestWatchdogMarksRunawayFailed(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	jobs := []Job{
+		{ID: "runaway", Run: func() (any, error) { <-release; return nil, nil }},
+		ok("quick", 1),
+	}
+	start := time.Now()
+	sum, err := Run(jobs, Options{Parallelism: 2, Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("pool hung on the runaway job")
+	}
+	r, _ := sum.Get("runaway")
+	if r.OK || !strings.Contains(r.Err, "watchdog") {
+		t.Fatalf("runaway result %+v", r)
+	}
+	if r, _ := sum.Get("quick"); !r.OK {
+		t.Fatalf("quick job result %+v", r)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run([]Job{ok("x", 1), ok("x", 2)}, Options{}); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	if _, err := Run([]Job{ok("", 1)}, Options{}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if _, err := Run([]Job{{ID: "norun"}}, Options{}); err == nil {
+		t.Error("nil Run accepted")
+	}
+}
+
+func TestUnmarshalableResultRecordedAsFailure(t *testing.T) {
+	j := Job{ID: "chan", Run: func() (any, error) { return make(chan int), nil }}
+	sum, err := Run([]Job{j}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := sum.Results[0]; r.OK || !strings.Contains(r.Err, "JSON") {
+		t.Fatalf("got %+v", r)
+	}
+}
+
+func TestProgressReportsEveryJob(t *testing.T) {
+	var buf strings.Builder
+	jobs := make([]Job, 12)
+	for i := range jobs {
+		jobs[i] = ok(fmt.Sprintf("job-%02d", i), i)
+	}
+	if _, err := Run(jobs, Options{Parallelism: 4, Progress: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "\n"); n != len(jobs)+1 { // one per job + summary
+		t.Fatalf("progress lines = %d, want %d:\n%s", n, len(jobs)+1, out)
+	}
+	if !strings.Contains(out, "[12/12]") || !strings.Contains(out, "vs sequential") {
+		t.Fatalf("progress output missing counters/summary:\n%s", out)
+	}
+}

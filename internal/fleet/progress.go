@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// tracker serialises live progress output from concurrent workers. Lines
+// go to the configured writer as jobs finish; they are scheduling-order
+// dependent by nature, which is why they belong on stderr while rendered
+// reports stay deterministic.
+type tracker struct {
+	mu       sync.Mutex
+	w        io.Writer
+	total    int
+	finished int
+	executed int // excludes cached results (their wall time is unknown)
+	start    time.Time
+}
+
+func newTracker(w io.Writer, total int) *tracker {
+	return &tracker{w: w, total: total, start: time.Now()}
+}
+
+// done reports one finished job: status, wall time, and an ETA projected
+// from the mean wall time of the jobs executed so far.
+func (t *tracker) done(r Result) {
+	if t.w == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.finished++
+	status := "ok"
+	switch {
+	case r.Cached:
+		status = "cached"
+	case !r.OK:
+		status = "FAILED: " + r.Err
+	}
+	if r.Cached {
+		fmt.Fprintf(t.w, "[%*d/%d] %-28s %s\n", digits(t.total), t.finished, t.total, r.ID, status)
+		return
+	}
+	t.executed++
+	elapsed := time.Since(t.start)
+	eta := "?"
+	if t.executed > 0 && t.finished < t.total {
+		perJob := elapsed / time.Duration(t.executed)
+		eta = (perJob * time.Duration(t.total-t.finished)).Round(time.Second).String()
+	}
+	fmt.Fprintf(t.w, "[%*d/%d] %-28s %s (%v; elapsed %v, eta %s)\n",
+		digits(t.total), t.finished, t.total, r.ID, status,
+		r.Wall.Round(time.Millisecond), elapsed.Round(time.Second), eta)
+}
+
+// finish prints the closing summary with the sequential-vs-parallel
+// speedup (summed job wall time over elapsed wall time).
+func (t *tracker) finish(s *Summary) {
+	if t.w == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.w, "fleet: %d jobs (%d cached, %d failed) in %v; %v of job work — %.2fx vs sequential\n",
+		len(s.Results), s.Cached, s.Failed,
+		s.Elapsed.Round(time.Millisecond), s.Work.Round(time.Millisecond), s.Speedup())
+}
+
+func digits(n int) int {
+	d := 1
+	for n >= 10 {
+		n /= 10
+		d++
+	}
+	return d
+}

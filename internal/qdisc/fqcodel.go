@@ -17,6 +17,10 @@ type FQCoDel struct {
 	codel      CoDelParams
 
 	flows map[packet.FlowKey]*fqFlow
+	// nextSeq stamps flow queues in creation order so drop-victim ties
+	// resolve deterministically (map iteration order is randomised per
+	// process, and byte-identical reruns depend on a total order here).
+	nextSeq uint64
 	// DRR schedule: new flows get one quantum of priority before joining
 	// the old-flows round robin, per RFC 8290 §4.2.
 	newFlows list
@@ -31,6 +35,7 @@ type FQCoDel struct {
 
 type fqFlow struct {
 	key     packet.FlowKey
+	seq     uint64
 	q       ring
 	bytes   int
 	deficit int
@@ -63,7 +68,8 @@ func NewFQCoDel(eng *sim.Engine, limitBytes, quantum int, params CoDelParams) *F
 func (f *FQCoDel) Enqueue(p *packet.Packet) bool {
 	fl, ok := f.flows[p.Flow]
 	if !ok {
-		fl = &fqFlow{key: p.Flow}
+		fl = &fqFlow{key: p.Flow, seq: f.nextSeq}
+		f.nextSeq++
 		f.flows[p.Flow] = fl
 	}
 	p.EnqueuedAt = f.eng.Now()
@@ -188,13 +194,17 @@ func (f *FQCoDel) BytesQueued() int { return f.bytes }
 // FlowCount returns the number of active flow queues.
 func (f *FQCoDel) FlowCount() int { return len(f.flows) }
 
+// fattestFlow picks the drop victim: the largest backlog, ties broken by
+// oldest flow queue. The tie-break matters — iteration order over the
+// flows map differs between processes, and equal backlogs are the common
+// case with homogeneous flows.
 func (f *FQCoDel) fattestFlow() *fqFlow {
 	var fat *fqFlow
 	for _, fl := range f.flows {
 		if fl.q.len() == 0 {
 			continue
 		}
-		if fat == nil || fl.bytes > fat.bytes {
+		if fat == nil || fl.bytes > fat.bytes || (fl.bytes == fat.bytes && fl.seq < fat.seq) {
 			fat = fl
 		}
 	}
