@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench report sweep clean
+.PHONY: check build vet test race bench bench-smoke benchjson report sweep clean
 
 check: build vet race
 
@@ -22,7 +22,17 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# One iteration of every benchmark — the CI bit-rot gate for the perf
+# harness.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Re-measure the perf suite and update BENCH_baseline.json's "current"
+# section (the frozen "baseline" section is preserved).
+benchjson:
+	$(GO) run ./cmd/cebinae-bench -benchjson BENCH_baseline.json
 
 # Regenerate the quick evaluation report on all cores with checkpointing.
 report:

@@ -11,44 +11,142 @@
 //	cebinae-bench -scale full -only table2     # one experiment, paper length
 //	cebinae-bench -only fig7,fig12,table3
 //	cebinae-bench -scale medium -p 8 -resume bench.jsonl   # checkpoint + resume
+//	cebinae-bench -benchjson BENCH_baseline.json           # perf snapshot only
+//	cebinae-bench -scale medium -cpuprofile cpu.pprof      # profile the fleet
 //
 // Live progress, per-job wall times, and the parallel-speedup summary go
 // to stderr; only the deterministic report goes to stdout / -o.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"cebinae/experiments"
+	"cebinae/internal/benchkit"
 	"cebinae/internal/fleet"
 )
 
 func main() {
 	var (
-		scaleFlag = flag.String("scale", "quick", "quick | medium | full, or a fraction of the paper's horizon (e.g. 0.5)")
-		only      = flag.String("only", "", "comma list of experiment ids to run (default: all)")
-		outPath   = flag.String("o", "", "also write the report to this file")
-		parallel  = flag.Int("p", 0, "worker pool size (0 = GOMAXPROCS)")
-		timeout   = flag.Duration("timeout", 0, "per-job wall-clock watchdog (0 = none), e.g. 10m")
-		resume    = flag.String("resume", "", "JSONL checkpoint store path; already-completed jobs in it are skipped")
+		scaleFlag  = flag.String("scale", "quick", "quick | medium | full, or a fraction of the paper's horizon (e.g. 0.5)")
+		only       = flag.String("only", "", "comma list of experiment ids to run (default: all)")
+		outPath    = flag.String("o", "", "also write the report to this file")
+		parallel   = flag.Int("p", 0, "worker pool size (0 = GOMAXPROCS)")
+		timeout    = flag.Duration("timeout", 0, "per-job wall-clock watchdog (0 = none), e.g. 10m")
+		resume     = flag.String("resume", "", "JSONL checkpoint store path; already-completed jobs in it are skipped")
+		benchjson  = flag.String("benchjson", "", "run the perf microbenchmark suite and write results to this JSON file (skips the report)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	scale, err := parseScale(*scaleFlag)
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fatal(err)
 	}
 
+	if *benchjson != "" {
+		err = runBenchJSON(*benchjson)
+	} else {
+		err = runReport(*scaleFlag, *only, *outPath, *parallel, *timeout, *resume)
+	}
+	// fatal calls os.Exit, which would skip deferred profile writers — stop
+	// them explicitly before deciding the exit path.
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// startProfiles begins CPU profiling and arranges a heap snapshot at stop;
+// the returned function flushes both and must run before any os.Exit.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialise final live-set statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+// benchSnapshot is the BENCH_baseline.json shape: the frozen pre-refactor
+// numbers (kept verbatim across regenerations) next to the current measured
+// suite, so every PR leaves a comparable point on the perf trajectory.
+type benchSnapshot struct {
+	Note     string            `json:"note,omitempty"`
+	Go       string            `json:"go"`
+	Baseline []benchkit.Result `json:"baseline,omitempty"`
+	Current  []benchkit.Result `json:"current"`
+}
+
+func runBenchJSON(path string) error {
+	snap := benchSnapshot{Go: runtime.Version()}
+	if old, err := os.ReadFile(path); err == nil {
+		var prev benchSnapshot
+		if json.Unmarshal(old, &prev) == nil {
+			snap.Note = prev.Note
+			snap.Baseline = prev.Baseline
+		}
+	}
+	fmt.Fprintln(os.Stderr, "cebinae-bench: running perf suite (this takes a few minutes)")
+	snap.Current = benchkit.RunAll()
+	for _, r := range snap.Current {
+		fmt.Fprintf(os.Stderr, "  %-24s %14.1f ns/op %10d B/op %8d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func runReport(scaleFlag, only, outPath string, parallel int, timeout time.Duration, resume string) error {
+	scale, err := parseScale(scaleFlag)
+	if err != nil {
+		return err
+	}
+
 	sections := experiments.BenchSections(scale)
-	if *only != "" {
+	if only != "" {
 		want := map[string]bool{}
-		for _, id := range strings.Split(*only, ",") {
+		for _, id := range strings.Split(only, ",") {
 			want[strings.TrimSpace(id)] = true
 		}
 		var selected []experiments.BenchSection
@@ -58,20 +156,20 @@ func main() {
 			}
 		}
 		if len(selected) == 0 {
-			fatal(fmt.Errorf("no experiments match %q", *only))
+			return fmt.Errorf("no experiments match %q", only)
 		}
 		sections = selected
 	}
 
 	opts := fleet.Options{
-		Parallelism: *parallel,
-		Timeout:     *timeout,
+		Parallelism: parallel,
+		Timeout:     timeout,
 		Progress:    os.Stderr,
 	}
-	if *resume != "" {
-		store, err := fleet.OpenStore(*resume)
+	if resume != "" {
+		store, err := fleet.OpenStore(resume)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer store.Close()
 		opts.Store = store
@@ -80,14 +178,14 @@ func main() {
 	start := time.Now()
 	sum, err := fleet.Run(experiments.SectionJobs(sections), opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	var w io.Writer = os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
+	if outPath != "" {
+		f, err := os.Create(outPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
@@ -109,10 +207,11 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "cebinae-bench: %v elapsed for %v of simulation work — %.2fx vs sequential (p=%d)\n",
-		time.Since(start).Round(time.Millisecond), sum.Work.Round(time.Millisecond), sum.Speedup(), workerCount(*parallel))
+		time.Since(start).Round(time.Millisecond), sum.Work.Round(time.Millisecond), sum.Speedup(), workerCount(parallel))
 	if failedSections > 0 {
-		fatal(fmt.Errorf("%d section(s) incomplete — see report", failedSections))
+		return fmt.Errorf("%d section(s) incomplete — see report", failedSections)
 	}
+	return nil
 }
 
 func workerCount(p int) int {

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -42,8 +44,15 @@ func main() {
 		storePath  = flag.String("store", "sweep.jsonl", "JSONL result store (one line per completed grid cell)")
 		resume     = flag.Bool("resume", false, "reuse an existing store, skipping its completed cells")
 		csvPath    = flag.String("csv", "sweep.csv", "CSV summary path (empty = skip)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if err := startProfiles(*cpuprofile, *memprofile); err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	cfg := def
 	cfg.BufferBytes = *buffer * 1500
@@ -214,7 +223,57 @@ func parseGroups(flows, rtts string) ([]experiments.FlowGroup, error) {
 	return groups, nil
 }
 
+// profiling state, flushed by stopProfiles on both the normal return path
+// (deferred in main) and the fatal path (os.Exit skips defers).
+var (
+	cpuProfileFile *os.File
+	memProfilePath string
+	profilesDone   bool
+)
+
+func startProfiles(cpuPath, memPath string) error {
+	memProfilePath = memPath
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		cpuProfileFile = f
+	}
+	return nil
+}
+
+func stopProfiles() {
+	if profilesDone {
+		return
+	}
+	profilesDone = true
+	if cpuProfileFile != nil {
+		pprof.StopCPUProfile()
+		if err := cpuProfileFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "cebinae-sweep:", err)
+		}
+	}
+	if memProfilePath != "" {
+		f, err := os.Create(memProfilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cebinae-sweep:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialise final live-set statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cebinae-sweep:", err)
+		}
+	}
+}
+
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "cebinae-sweep:", err)
 	os.Exit(1)
 }

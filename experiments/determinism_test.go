@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// determinismScenario is a medium dumbbell: mixed CC and RTT groups through
+// the Cebinae bottleneck with time-series sampling on, so the comparison
+// covers the engine, netem, TCP, the core mechanism, meters, and the
+// series/JFI pipelines at once.
+func determinismScenario() Scenario {
+	return Scenario{
+		Name:          "determinism",
+		BottleneckBps: 50e6,
+		BufferBytes:   1 << 20,
+		Groups: []FlowGroup{
+			{CC: "newreno", Count: 3, RTT: Millis(20)},
+			{CC: "cubic", Count: 2, RTT: Millis(60)},
+			{CC: "newreno", Count: 1, RTT: Millis(40), StartAt: Seconds(1)},
+		},
+		Duration:       Seconds(4),
+		Qdisc:          Cebinae,
+		Seed:           7,
+		SampleInterval: Millis(200),
+	}
+}
+
+// renderResult flattens a Result into a canonical text form — the same kind
+// of byte stream a report file would carry — so run-to-run drift anywhere in
+// the pipeline shows up as a byte difference.
+func renderResult(r Result) string {
+	s := fmt.Sprintf("events=%d throughput=%.6f goodput=%.6f jfi=%.9f\n",
+		r.Events, r.ThroughputBps, r.GoodputBps, r.JFI)
+	for _, f := range r.Flows {
+		s += fmt.Sprintf("flow %d cc=%s rtt=%d goodput=%.6f series=%v\n",
+			f.Index, f.CC, f.RTT, f.GoodputBps, f.Series)
+	}
+	s += fmt.Sprintf("jfiseries=%v states=%s\n", r.JFISeries, r.StateSeries)
+	s += fmt.Sprintf("cebstats=%+v\n", r.CebStats)
+	return s
+}
+
+// TestRunDeterminism is the end-to-end determinism regression gate: the same
+// scenario run twice in one process must produce an identical event count,
+// identical structured results, and byte-identical rendered output. `make
+// race` runs this same test under the race detector.
+func TestRunDeterminism(t *testing.T) {
+	a := Run(determinismScenario())
+	b := Run(determinismScenario())
+
+	if a.Events != b.Events {
+		t.Errorf("event counts differ between identical runs: %d vs %d", a.Events, b.Events)
+	}
+	if !reflect.DeepEqual(a.Flows, b.Flows) {
+		t.Errorf("flow results differ between identical runs:\n%+v\n%+v", a.Flows, b.Flows)
+	}
+	if a.CebStats != b.CebStats {
+		t.Errorf("cebinae stats differ between identical runs:\n%+v\n%+v", a.CebStats, b.CebStats)
+	}
+	ra, rb := renderResult(a), renderResult(b)
+	if ra != rb {
+		t.Errorf("rendered reports are not byte-identical:\n--- run 1 ---\n%s--- run 2 ---\n%s", ra, rb)
+	}
+}

@@ -30,12 +30,14 @@ type CBR struct {
 	Sent    uint64
 	stopped bool
 	event   *sim.Event
+	tickFn  func() // bound once; per-packet rescheduling allocates no closure
 }
 
 // NewCBR creates and starts the source at startAt.
 func NewCBR(eng *sim.Engine, node *netem.Node, key packet.FlowKey, rateBps float64, startAt sim.Time) *CBR {
 	c := &CBR{eng: eng, node: node, key: key, RateBps: rateBps, PacketBytes: 1500}
-	eng.At(startAt, c.tick)
+	c.tickFn = c.tick
+	eng.At(startAt, c.tickFn)
 	return c
 }
 
@@ -43,19 +45,18 @@ func (c *CBR) tick() {
 	if c.stopped {
 		return
 	}
-	p := &packet.Packet{
-		Flow:        c.key,
-		Size:        int32(c.PacketBytes),
-		PayloadSize: int32(c.PacketBytes - packet.HeaderBytes),
-		SentAt:      c.eng.Now(),
-	}
+	p := c.node.AllocPacket()
+	p.Flow = c.key
+	p.Size = int32(c.PacketBytes)
+	p.PayloadSize = int32(c.PacketBytes - packet.HeaderBytes)
+	p.SentAt = c.eng.Now()
 	if c.ECN {
 		p.ECN = packet.ECNECT
 	}
 	c.node.Inject(p)
 	c.Sent++
 	gap := sim.Time(float64(c.PacketBytes*8) / c.RateBps * 1e9)
-	c.event = c.eng.Schedule(gap, c.tick)
+	c.event = c.eng.Schedule(gap, c.tickFn)
 }
 
 // Stop halts emission.
@@ -80,6 +81,7 @@ type OnOff struct {
 	on      bool
 	stopped bool
 	Sent    uint64
+	emitFn  func() // bound once; per-packet rescheduling allocates no closure
 }
 
 // NewOnOff creates and starts the source (beginning with an OFF period so
@@ -91,6 +93,7 @@ func NewOnOff(eng *sim.Engine, node *netem.Node, key packet.FlowKey, rateBps flo
 		MeanOn: meanOn, MeanOff: meanOff,
 		rng: sim.NewRand(seed ^ key.Hash(0x0F0F)),
 	}
+	o.emitFn = o.emit
 	eng.Schedule(o.expDur(meanOff), o.switchState)
 	return o
 }
@@ -116,14 +119,14 @@ func (o *OnOff) emit() {
 	if o.stopped || !o.on {
 		return
 	}
-	o.node.Inject(&packet.Packet{
-		Flow:        o.key,
-		Size:        int32(o.PacketBytes),
-		PayloadSize: int32(o.PacketBytes - packet.HeaderBytes),
-		SentAt:      o.eng.Now(),
-	})
+	p := o.node.AllocPacket()
+	p.Flow = o.key
+	p.Size = int32(o.PacketBytes)
+	p.PayloadSize = int32(o.PacketBytes - packet.HeaderBytes)
+	p.SentAt = o.eng.Now()
+	o.node.Inject(p)
 	o.Sent++
-	o.eng.Schedule(sim.Time(float64(o.PacketBytes*8)/o.RateBps*1e9), o.emit)
+	o.eng.Schedule(sim.Time(float64(o.PacketBytes*8)/o.RateBps*1e9), o.emitFn)
 }
 
 // Stop halts emission.

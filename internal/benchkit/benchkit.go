@@ -1,0 +1,189 @@
+// Package benchkit is the perf measurement harness shared by the go-test
+// benchmarks and `cebinae-bench -benchjson`: microbenchmarks of the event
+// engine's schedule/cancel/dispatch cycle, the netem forwarding hot path,
+// and an end-to-end dumbbell TCP run. Keeping the bodies here (rather than
+// in _test files) lets the CLI emit a machine-readable perf snapshot
+// (BENCH_baseline.json) with exactly the numbers the benchmarks report, so
+// every PR leaves a comparable point on the perf trajectory.
+package benchkit
+
+import (
+	"testing"
+
+	"cebinae/internal/netem"
+	"cebinae/internal/packet"
+	"cebinae/internal/qdisc"
+	"cebinae/internal/sim"
+	"cebinae/internal/tcp"
+)
+
+// Sink defeats dead-code elimination in benchmark bodies.
+var Sink int
+
+// EngineDispatch measures the pooled typed-event schedule+dispatch cycle —
+// the simulator's innermost loop. Steady state is allocation-free: the
+// self-rescheduling handler reuses one recycled event for the whole run.
+func EngineDispatch(b *testing.B) {
+	eng := sim.NewEngine()
+	l := &dispatchLoop{eng: eng, remaining: b.N}
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.ScheduleCall(1, l, nil)
+	eng.RunAll()
+	Sink = int(eng.Processed)
+}
+
+type dispatchLoop struct {
+	eng       *sim.Engine
+	remaining int
+}
+
+func (l *dispatchLoop) OnEvent(any) {
+	l.remaining--
+	if l.remaining > 0 {
+		l.eng.ScheduleCall(1, l, nil)
+	}
+}
+
+// EngineDispatchClosure measures the same cycle through the cold-path
+// closure API (Schedule), for comparison with EngineDispatch: the delta is
+// the cost of the per-event allocation the typed fast path avoids.
+func EngineDispatchClosure(b *testing.B) {
+	eng := sim.NewEngine()
+	count := 0
+	var next func()
+	next = func() {
+		count++
+		if count < b.N {
+			eng.Schedule(1, next)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Schedule(1, next)
+	eng.RunAll()
+	Sink = count
+}
+
+// EngineScheduleCancel measures handle-carrying schedule + cancel churn
+// (heap push + arbitrary-position remove), the pattern of retransmission
+// and delayed-ACK timers.
+func EngineScheduleCancel(b *testing.B) {
+	eng := sim.NewEngine()
+	fn := func() {}
+	// A standing population keeps the heap realistically deep.
+	const depth = 256
+	var evs [depth]*sim.Event
+	for i := range evs {
+		evs[i] = eng.Schedule(sim.Time(i+1), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % depth
+		eng.Cancel(evs[slot])
+		evs[slot] = eng.Schedule(sim.Time(slot+1), fn)
+	}
+}
+
+type nullEndpoint struct{}
+
+func (nullEndpoint) Deliver(p *packet.Packet) {}
+
+// NetemForward measures one packet per op through a two-node
+// store-and-forward hop: pool alloc, qdisc enqueue/dequeue, persistent
+// transmit event, pooled propagation event, delivery, pool release.
+// Steady state is allocation-free.
+func NetemForward(b *testing.B) {
+	eng := sim.NewEngine()
+	w := netem.NewNetwork(eng)
+	a, c := w.NewNode("a"), w.NewNode("b")
+	da, db := w.Connect(a, c, netem.LinkConfig{RateBps: 1e9, Delay: 1000})
+	da.SetQdisc(qdisc.NewFIFO(1 << 20))
+	db.SetQdisc(qdisc.NewFIFO(1 << 20))
+	key := packet.FlowKey{Src: a.ID, Dst: c.ID, SrcPort: 1, DstPort: 2, Proto: packet.ProtoTCP}
+	c.Register(key, nullEndpoint{})
+	a.AddRoute(c.ID, da)
+	forward := func() {
+		p := a.AllocPacket()
+		p.Flow = key
+		p.Size = 1500
+		p.PayloadSize = 1448
+		a.Inject(p)
+		eng.RunAll()
+	}
+	forward() // warm the packet pool and event free list
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		forward()
+	}
+	Sink = int(eng.Processed)
+}
+
+// DumbbellE2E measures full-stack simulated packet throughput: one NewReno
+// flow over a 100 Mbps dumbbell, 2 simulated seconds per op (the same
+// scenario as the root package's BenchmarkTCPEndToEnd, kept in lockstep so
+// BENCH_baseline.json entries compare across PRs).
+func DumbbellE2E(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		w := netem.NewNetwork(eng)
+		d := netem.BuildDumbbell(w, netem.DumbbellConfig{
+			FlowCount:       1,
+			BottleneckBps:   100e6,
+			BottleneckDelay: sim.Time(0.1e6),
+			RTTs:            []sim.Time{sim.Time(20e6)},
+			BottleneckQdisc: func(dev *netem.Device) netem.Qdisc { return qdisc.NewFIFO(450 * 1500) },
+			DefaultQdisc:    func() netem.Qdisc { return qdisc.NewFIFO(16 << 20) },
+		})
+		key := packet.FlowKey{Src: d.Senders[0].ID, Dst: d.Receivers[0].ID, SrcPort: 1, DstPort: 2, Proto: packet.ProtoTCP}
+		tcp.NewConn(eng, d.Senders[0], tcp.Config{Key: key})
+		tcp.NewReceiver(eng, d.Receivers[0], tcp.ReceiverConfig{Key: key})
+		eng.Run(sim.Time(2e9))
+		Sink = int(eng.Processed)
+	}
+}
+
+// Result is one measured benchmark, in the shape BENCH_baseline.json
+// records.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Specs enumerates the harness's benchmarks in reporting order.
+func Specs() []struct {
+	Name string
+	Fn   func(*testing.B)
+} {
+	return []struct {
+		Name string
+		Fn   func(*testing.B)
+	}{
+		{"EngineDispatch", EngineDispatch},
+		{"EngineDispatchClosure", EngineDispatchClosure},
+		{"EngineScheduleCancel", EngineScheduleCancel},
+		{"NetemForward", NetemForward},
+		{"DumbbellE2E", DumbbellE2E},
+	}
+}
+
+// RunAll executes every benchmark via testing.Benchmark and returns the
+// measured results.
+func RunAll() []Result {
+	var out []Result
+	for _, s := range Specs() {
+		r := testing.Benchmark(s.Fn)
+		out = append(out, Result{
+			Name:        s.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package benchkit
+
+import (
+	"testing"
+
+	"cebinae/internal/netem"
+	"cebinae/internal/packet"
+	"cebinae/internal/qdisc"
+	"cebinae/internal/sim"
+)
+
+func BenchmarkEngineDispatch(b *testing.B)        { EngineDispatch(b) }
+func BenchmarkEngineDispatchClosure(b *testing.B) { EngineDispatchClosure(b) }
+func BenchmarkEngineScheduleCancel(b *testing.B)  { EngineScheduleCancel(b) }
+func BenchmarkNetemForward(b *testing.B)          { NetemForward(b) }
+func BenchmarkDumbbellE2E(b *testing.B)           { DumbbellE2E(b) }
+
+// TestEngineDispatchZeroAlloc pins the tentpole invariant: the typed
+// fast-path schedule+dispatch cycle performs no allocation at steady state.
+func TestEngineDispatchZeroAlloc(t *testing.T) {
+	eng := sim.NewEngine()
+	l := &dispatchLoop{eng: eng}
+	// Warm: the first ScheduleCall allocates the one event the loop reuses.
+	l.remaining = 2
+	eng.ScheduleCall(1, l, nil)
+	eng.RunAll()
+	allocs := testing.AllocsPerRun(100, func() {
+		l.remaining = 10
+		eng.ScheduleCall(1, l, nil)
+		eng.RunAll()
+	})
+	if allocs != 0 {
+		t.Fatalf("typed dispatch cycle allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestNetemForwardZeroAlloc pins the forwarding hot path: packet pool,
+// qdisc, persistent transmit event, and pooled propagation event together
+// move a packet across a hop without allocating.
+func TestNetemForwardZeroAlloc(t *testing.T) {
+	eng := sim.NewEngine()
+	w := netem.NewNetwork(eng)
+	a, c := w.NewNode("a"), w.NewNode("b")
+	da, db := w.Connect(a, c, netem.LinkConfig{RateBps: 1e9, Delay: 1000})
+	da.SetQdisc(qdisc.NewFIFO(1 << 20))
+	db.SetQdisc(qdisc.NewFIFO(1 << 20))
+	key := packet.FlowKey{Src: a.ID, Dst: c.ID, SrcPort: 1, DstPort: 2, Proto: packet.ProtoTCP}
+	c.Register(key, nullEndpoint{})
+	a.AddRoute(c.ID, da)
+	forward := func() {
+		p := a.AllocPacket()
+		p.Flow = key
+		p.Size = 1500
+		p.PayloadSize = 1448
+		a.Inject(p)
+		eng.RunAll()
+	}
+	forward() // warm pool + free lists
+	allocs := testing.AllocsPerRun(100, forward)
+	if allocs != 0 {
+		t.Fatalf("forwarding hot path allocates %.1f objects/run, want 0", allocs)
+	}
+	if reuses := w.Pool().Reuses; reuses == 0 {
+		t.Fatal("packet pool never recycled a packet")
+	}
+}

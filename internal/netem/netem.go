@@ -56,6 +56,22 @@ type Device struct {
 	qdisc Qdisc
 	busy  bool
 
+	// txEvent is the device's persistent transmit-completion event: a
+	// device serialises at most one packet at a time, so one caller-owned
+	// event (rescheduled in place) replaces a per-packet allocation.
+	// txPacket is the packet currently on the wire.
+	txEvent  sim.Event
+	txPacket *packet.Packet
+
+	// serialiseSize/serialiseTime memoise the last packet size's
+	// serialisation delay. Traffic on a device is dominated by long runs
+	// of equal-sized packets (full segments one way, bare ACKs the other),
+	// so the memo removes the per-packet float division while staying
+	// bit-identical to computing the delay fresh each time (a precomputed
+	// ns-per-byte multiplier rounds differently and would perturb runs).
+	serialiseSize int32
+	serialiseTime sim.Time
+
 	Stats DeviceStats
 
 	// OnTransmit, when non-nil, observes every packet at the instant its
@@ -80,10 +96,12 @@ func (d *Device) SetQdisc(q Qdisc) { d.qdisc = q }
 func (d *Device) Node() *Node { return d.node }
 
 // Send admits a packet to the device's qdisc and kicks the transmitter.
+// Refused packets are released back to the network's pool.
 func (d *Device) Send(p *packet.Packet) {
 	if !d.qdisc.Enqueue(p) {
 		d.Stats.DropPackets++
 		d.Stats.DropBytes += uint64(p.Size)
+		d.node.net.pool.Put(p)
 		return
 	}
 	if !d.busy {
@@ -92,7 +110,8 @@ func (d *Device) Send(p *packet.Packet) {
 }
 
 // transmitNext pulls the next packet from the qdisc and serialises it onto
-// the link. The device stays busy until the qdisc runs dry.
+// the link. The device stays busy until the qdisc runs dry. Serialisation
+// completion is the device's persistent txEvent — no allocation per packet.
 func (d *Device) transmitNext() {
 	p := d.qdisc.Dequeue()
 	if p == nil {
@@ -100,18 +119,38 @@ func (d *Device) transmitNext() {
 		return
 	}
 	d.busy = true
-	eng := d.node.net.Engine
-	serialise := sim.Time(float64(p.Size*8) / d.rate * 1e9)
-	eng.Schedule(serialise, func() {
-		d.Stats.TxPackets++
-		d.Stats.TxBytes += uint64(p.Size)
-		if d.OnTransmit != nil {
-			d.OnTransmit(p)
-		}
-		peer := d.peer
-		eng.Schedule(d.delay, func() { peer.receive(p) })
-		d.transmitNext()
-	})
+	d.txPacket = p
+	if p.Size != d.serialiseSize {
+		d.serialiseSize = p.Size
+		d.serialiseTime = sim.Time(float64(p.Size*8) / d.rate * 1e9)
+	}
+	d.node.net.Engine.ScheduleOwned(&d.txEvent, d.serialiseTime, (*deviceTxDone)(d), nil)
+}
+
+// deviceTxDone is the Device's transmit-completion event handler view.
+type deviceTxDone Device
+
+// OnEvent fires when the head packet's last bit leaves the device: account
+// it, hand it to the propagation leg towards the peer (a pooled typed
+// event — the receive side of the hop), and start on the next packet.
+func (t *deviceTxDone) OnEvent(any) {
+	d := (*Device)(t)
+	p := d.txPacket
+	d.txPacket = nil
+	d.Stats.TxPackets++
+	d.Stats.TxBytes += uint64(p.Size)
+	if d.OnTransmit != nil {
+		d.OnTransmit(p)
+	}
+	d.node.net.Engine.ScheduleCall(d.delay, (*deviceArrival)(d.peer), p)
+	d.transmitNext()
+}
+
+// deviceArrival is the Device's propagation-arrival event handler view.
+type deviceArrival Device
+
+func (r *deviceArrival) OnEvent(arg any) {
+	(*Device)(r).receive(arg.(*packet.Packet))
 }
 
 // Kick restarts the transmitter if it is idle and the qdisc has become
@@ -140,8 +179,8 @@ type Node struct {
 	routes  map[packet.NodeID]*Device
 	demux   map[packet.FlowKey]Endpoint
 
-	// OnUnroutable observes packets with no route / no endpoint (default:
-	// counted and discarded).
+	// Unroutable counts packets discarded because the node had no route to
+	// their destination or no endpoint registered for their flow key.
 	Unroutable uint64
 }
 
@@ -158,33 +197,65 @@ func (n *Node) Register(key packet.FlowKey, ep Endpoint) {
 	n.demux[key] = ep
 }
 
+// AllocPacket draws a zeroed packet from the network's free list. Senders
+// that build one packet per transmission use this instead of a fresh
+// allocation; the packet returns to the pool when the network releases it
+// (endpoint delivery or drop).
+func (n *Node) AllocPacket() *packet.Packet { return n.net.pool.Get() }
+
 // Inject routes a locally generated packet out of the proper device.
 func (n *Node) Inject(p *packet.Packet) {
 	dev, ok := n.routes[p.Flow.Dst]
 	if !ok {
 		n.Unroutable++
+		n.net.pool.Put(p)
 		return
 	}
 	dev.Send(p)
 }
 
+// InjectAt injects p at absolute virtual time t (clamped to now) via a
+// pooled typed event — the allocation-free equivalent of
+// eng.At(t, func() { n.Inject(p) }), used by senders that delay
+// transmissions (host-processing jitter).
+func (n *Node) InjectAt(t sim.Time, p *packet.Packet) {
+	n.net.Engine.AtCall(t, (*nodeInject)(n), p)
+}
+
+// nodeInject is the Node's deferred-injection event handler view.
+type nodeInject Node
+
+func (n *nodeInject) OnEvent(arg any) {
+	(*Node)(n).Inject(arg.(*packet.Packet))
+}
+
 func (n *Node) receive(p *packet.Packet) {
 	if p.Flow.Dst == n.ID {
 		if ep, ok := n.demux[p.Flow]; ok {
+			// The endpoint consumes the packet synchronously; once
+			// Deliver returns the packet has left the network.
 			ep.Deliver(p)
+			n.net.pool.Put(p)
 			return
 		}
 		n.Unroutable++
+		n.net.pool.Put(p)
 		return
 	}
 	n.Inject(p) // forward
 }
 
-// Network owns the engine, nodes, and links of one simulation.
+// Network owns the engine, nodes, links, and packet free list of one
+// simulation. The pool is engine-scoped: simulations are single-goroutine,
+// so recycling needs no synchronisation.
 type Network struct {
 	Engine *sim.Engine
 	nodes  []*Node
+	pool   packet.Pool
 }
+
+// Pool exposes the network's packet free list (diagnostics and benchmarks).
+func (w *Network) Pool() *packet.Pool { return &w.pool }
 
 // NewNetwork creates an empty network bound to eng.
 func NewNetwork(eng *sim.Engine) *Network {

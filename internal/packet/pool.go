@@ -1,0 +1,54 @@
+package packet
+
+// Pool is a free list of Packet structs owned by one simulation (one
+// engine's goroutine), so it needs no locking — unlike sync.Pool there is
+// no per-P caching or cross-goroutine contention, and recycled packets
+// never migrate between concurrent simulations.
+//
+// Ownership protocol: a packet is drawn with Get when a sender builds it,
+// travels through queues and links under single ownership, and is released
+// with Put exactly once at the point it leaves the simulated network — on
+// delivery to its endpoint, or on drop. Packets that are discarded inside a
+// queue discipline (e.g. CoDel dequeue-time drops) may simply be abandoned
+// to the garbage collector: Put is an optimisation, not an obligation, and
+// packets built outside the pool may be Put into it.
+//
+// Building with -tags packetdebug enables a double-free detector that
+// panics when a packet is released twice without an intervening Get.
+type Pool struct {
+	free  []*Packet
+	debug poolDebug
+	// Gets / Reuses count allocations served and how many were recycled
+	// (Gets - Reuses packets were freshly allocated).
+	Gets   uint64
+	Reuses uint64
+}
+
+// Get returns a zeroed packet, reusing a released one when available. The
+// SACK slice's backing array is retained across reuse (length reset to 0).
+func (pl *Pool) Get() *Packet {
+	pl.Gets++
+	n := len(pl.free)
+	if n == 0 {
+		return &Packet{}
+	}
+	pl.Reuses++
+	p := pl.free[n-1]
+	pl.free[n-1] = nil
+	pl.free = pl.free[:n-1]
+	pl.debug.onGet(p)
+	sack := p.SACK[:0]
+	*p = Packet{}
+	p.SACK = sack
+	return p
+}
+
+// Put releases p back to the pool. p must not be referenced by the caller
+// afterwards; its fields keep their values until the packet is reused.
+func (pl *Pool) Put(p *Packet) {
+	pl.debug.onPut(p)
+	pl.free = append(pl.free, p)
+}
+
+// FreeLen returns the number of packets currently on the free list.
+func (pl *Pool) FreeLen() int { return len(pl.free) }

@@ -1,0 +1,28 @@
+//go:build packetdebug
+
+package packet
+
+import "fmt"
+
+// poolDebug tracks which packets are sitting on the free list and panics
+// on a double release — the classic pooling bug where a packet is freed at
+// two ownership hand-off points (e.g. both a drop path and a delivery
+// path). Enabled with `go build -tags packetdebug`; the release build's
+// no-op twin lives in pool_nodebug.go.
+type poolDebug struct {
+	freed map[*Packet]bool
+}
+
+func (d *poolDebug) onGet(p *Packet) {
+	delete(d.freed, p)
+}
+
+func (d *poolDebug) onPut(p *Packet) {
+	if d.freed == nil {
+		d.freed = make(map[*Packet]bool)
+	}
+	if d.freed[p] {
+		panic(fmt.Sprintf("packet: double free of %v", p))
+	}
+	d.freed[p] = true
+}

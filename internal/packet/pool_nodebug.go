@@ -1,0 +1,10 @@
+//go:build !packetdebug
+
+package packet
+
+// poolDebug is a no-op in release builds; `go build -tags packetdebug`
+// swaps in the double-free detector from pool_debug.go.
+type poolDebug struct{}
+
+func (poolDebug) onGet(*Packet) {}
+func (poolDebug) onPut(*Packet) {}

@@ -1,0 +1,46 @@
+package packet
+
+import "testing"
+
+func TestPoolReuse(t *testing.T) {
+	var pool Pool
+	p := pool.Get()
+	if pool.Gets != 1 || pool.Reuses != 0 {
+		t.Fatalf("fresh pool counters: gets=%d reuses=%d", pool.Gets, pool.Reuses)
+	}
+	p.Seq = 42
+	p.Size = 1500
+	p.ECN = ECNCE
+	p.SACK = append(p.SACK, SackBlock{Start: 1, End: 2})
+	pool.Put(p)
+	if pool.FreeLen() != 1 {
+		t.Fatalf("free list length %d after Put, want 1", pool.FreeLen())
+	}
+
+	q := pool.Get()
+	if q != p {
+		t.Fatal("Get after Put must return the recycled packet")
+	}
+	if pool.Reuses != 1 {
+		t.Fatalf("reuse counter %d, want 1", pool.Reuses)
+	}
+	if q.Seq != 0 || q.Size != 0 || q.ECN != ECNNotECT || len(q.SACK) != 0 {
+		t.Fatalf("recycled packet not zeroed: %+v", q)
+	}
+	if cap(q.SACK) == 0 {
+		t.Fatal("recycled packet lost its SACK backing array")
+	}
+}
+
+func TestPoolGetGrows(t *testing.T) {
+	var pool Pool
+	a, b := pool.Get(), pool.Get()
+	if a == b {
+		t.Fatal("distinct Gets from an empty pool must return distinct packets")
+	}
+	pool.Put(a)
+	pool.Put(b)
+	if pool.FreeLen() != 2 {
+		t.Fatalf("free list length %d, want 2", pool.FreeLen())
+	}
+}

@@ -4,10 +4,21 @@
 // priority queue of scheduled events. Events scheduled for the same instant
 // fire in scheduling order (FIFO tie-breaking), which makes runs fully
 // deterministic for a fixed seed and workload.
+//
+// Two scheduling surfaces share one queue:
+//
+//   - Schedule / ScheduleStd / At take a func() and return an *Event handle
+//     that can be cancelled. Convenient, but each call allocates the event
+//     (and usually a closure), so this is the cold-path API.
+//   - ScheduleCall / AtCall take a Handler interface plus a payload and
+//     return nothing; the event structs behind them are recycled on a
+//     per-engine free list, so steady-state scheduling is allocation-free.
+//     ScheduleOwned goes one step further for strictly sequential streams
+//     (a device's transmit completions): the caller embeds one Event and
+//     reuses it for every occurrence.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -31,27 +42,63 @@ func (t Time) Std() time.Duration { return time.Duration(t) }
 
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 
-// Event is a handle to a scheduled callback. It can be cancelled before it
-// fires; cancelling an already-fired or already-cancelled event is a no-op.
+// Handler receives typed fast-path events. Implementations are typically
+// small named types over the receiver struct (so one struct can register
+// several distinct handlers without closures).
+type Handler interface {
+	// OnEvent is invoked when the event fires, with the payload it was
+	// scheduled with.
+	OnEvent(arg any)
+}
+
+// eventKind discriminates how an event's memory is managed and dispatched.
+type eventKind uint8
+
+const (
+	// kindClosure events carry a func() and were handed out as handles;
+	// they are garbage collected, never recycled (the caller may still
+	// hold the pointer after the event fires).
+	kindClosure eventKind = iota
+	// kindPooled events carry a Handler, expose no handle, and return to
+	// the engine's free list the moment they fire or are cancelled.
+	kindPooled
+	// kindOwned events are embedded in a caller's struct and rescheduled
+	// in place (ScheduleOwned); the engine never frees or recycles them.
+	kindOwned
+)
+
+// Event is a scheduled callback. Events created by Schedule/At are handles
+// that can be cancelled before they fire; cancelling an already-fired or
+// already-cancelled event is a no-op. The zero Event is an idle caller-owned
+// event ready for ScheduleOwned.
 type Event struct {
-	at       Time
-	seq      uint64
-	index    int // position in the heap, -1 once removed
-	callback func()
+	at  Time
+	seq uint64
+	// pos is the event's heap position plus one; 0 means not queued
+	// (fired, cancelled, or never scheduled). The +1 offset makes the
+	// zero Event value valid as an idle ScheduleOwned event.
+	pos  int32
+	kind eventKind
+
+	callback func()  // kindClosure
+	handler  Handler // kindPooled, kindOwned
+	arg      any
 }
 
 // At returns the virtual time at which the event is (or was) scheduled.
 func (e *Event) At() Time { return e.at }
 
-// Cancelled reports whether the event has been cancelled or already fired.
-func (e *Event) Cancelled() bool { return e.index == -1 }
+// Cancelled reports whether the event is not pending: it has been cancelled,
+// has already fired, or was never scheduled.
+func (e *Event) Cancelled() bool { return e.pos == 0 }
 
 // Engine is a discrete-event scheduler. It is not safe for concurrent use;
 // simulations are single-goroutine by design.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	queue   []*Event // 4-ary min-heap ordered by (at, seq)
+	free    []*Event // recycled kindPooled events
 	stopped bool
 	// Processed counts events dispatched since construction.
 	Processed uint64
@@ -85,44 +132,122 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{at: t, seq: e.seq, callback: fn}
+	ev := &Event{at: t, seq: e.seq, kind: kindClosure, callback: fn}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.heapPush(ev)
 	return ev
+}
+
+// ScheduleCall runs h.OnEvent(arg) after delay d. It is the fast-path
+// equivalent of Schedule: no handle is returned and the event struct is
+// drawn from (and returned to) a per-engine free list, so a steady stream
+// of calls performs no allocation.
+func (e *Engine) ScheduleCall(d Time, h Handler, arg any) {
+	if d < 0 {
+		d = 0
+	}
+	e.AtCall(e.now+d, h, arg)
+}
+
+// AtCall runs h.OnEvent(arg) at absolute virtual time t (clamped to now),
+// with the same pooling as ScheduleCall.
+func (e *Engine) AtCall(t Time, h Handler, arg any) {
+	if t < e.now {
+		t = e.now
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.kind = kindPooled
+	ev.handler = h
+	ev.arg = arg
+	e.seq++
+	e.heapPush(ev)
+}
+
+// ScheduleOwned schedules ev — a caller-owned Event, typically embedded in
+// a long-lived struct — to run h.OnEvent(arg) after delay d. The event must
+// not currently be pending. Reusing one Event for a strictly sequential
+// stream of occurrences (e.g. a device's transmit completions) costs no
+// allocation at all.
+func (e *Engine) ScheduleOwned(ev *Event, d Time, h Handler, arg any) {
+	if ev.pos != 0 {
+		panic("sim: ScheduleOwned on an event that is still pending")
+	}
+	if d < 0 {
+		d = 0
+	}
+	ev.at = e.now + d
+	ev.seq = e.seq
+	ev.kind = kindOwned
+	ev.handler = h
+	ev.arg = arg
+	e.seq++
+	e.heapPush(ev)
 }
 
 // Cancel removes a pending event. It is safe to call with nil or with an
 // event that has already fired.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index == -1 {
+	if ev == nil || ev.pos == 0 {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	e.heapRemove(int(ev.pos) - 1)
+	if ev.kind == kindPooled {
+		e.recycle(ev)
+	}
+}
+
+// recycle clears a pooled event's references and returns it to the free
+// list.
+func (e *Engine) recycle(ev *Event) {
+	ev.handler = nil
+	ev.arg = nil
+	e.free = append(e.free, ev)
 }
 
 // Stop makes Run return after the currently dispatching event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending returns the number of events waiting to fire.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.queue) }
 
 // Run dispatches events in time order until the queue empties, the clock
 // would pass `until`, or Stop is called. It returns the virtual time at
 // which it stopped. Events scheduled exactly at `until` do fire.
 func (e *Engine) Run(until Time) Time {
 	e.stopped = false
-	for e.queue.Len() > 0 && !e.stopped {
+	for len(e.queue) > 0 && !e.stopped {
 		next := e.queue[0]
 		if next.at > until {
 			e.now = until
 			return e.now
 		}
-		heap.Pop(&e.queue)
-		next.index = -1
+		e.heapPopMin()
 		e.now = next.at
 		e.Processed++
-		next.callback()
+		switch next.kind {
+		case kindClosure:
+			next.callback()
+		case kindPooled:
+			h, arg := next.handler, next.arg
+			// Recycle before dispatch so a handler that reschedules
+			// (the common self-perpetuating pattern) reuses this very
+			// event.
+			e.recycle(next)
+			h.OnEvent(arg)
+		default: // kindOwned
+			h, arg := next.handler, next.arg
+			next.arg = nil // drop the payload reference until rescheduled
+			h.OnEvent(arg)
+		}
 	}
 	// Settle the clock at the horizon when the queue drained early — except
 	// for RunAll's open horizon, where the clock stays at the last event.
@@ -135,35 +260,106 @@ func (e *Engine) Run(until Time) Time {
 // RunAll dispatches every event until the queue drains or Stop is called.
 func (e *Engine) RunAll() Time { return e.Run(MaxTime) }
 
-// eventQueue is a binary min-heap ordered by (time, sequence).
-type eventQueue []*Event
+// ---------------------------------------------------------------------------
+// Inlined 4-ary min-heap over (at, seq).
+//
+// A 4-ary layout halves the tree depth of a binary heap, and inlining it
+// over []*Event (instead of container/heap's interface dispatch and `any`
+// boxing) keeps push/pop monomorphic and allocation-free. FIFO tie-breaking
+// for same-instant events falls out of comparing the monotonically
+// increasing seq.
+// ---------------------------------------------------------------------------
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// heapPush appends ev and sifts it up to its position.
+func (e *Engine) heapPush(ev *Event) {
+	e.queue = append(e.queue, ev)
+	e.siftUp(len(e.queue)-1, ev)
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+// heapPopMin removes the root (callers read e.queue[0] first). The popped
+// event's pos is zeroed before removal so callbacks observe it as fired.
+func (e *Engine) heapPopMin() {
+	q := e.queue
+	n := len(q) - 1
+	q[0].pos = 0
+	last := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(0, last)
+	}
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// heapRemove removes the event at heap index i (used by Cancel).
+func (e *Engine) heapRemove(i int) {
+	q := e.queue
+	n := len(q) - 1
+	q[i].pos = 0
+	last := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if i == n {
+		return
+	}
+	e.siftDown(i, last)
+	if int(last.pos)-1 == i {
+		e.siftUp(i, last)
+	}
+}
+
+// siftUp places ev at index i, moving it towards the root while it sorts
+// before its parent. ev itself is written exactly once, at its final slot.
+func (e *Engine) siftUp(i int, ev *Event) {
+	q := e.queue
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := q[parent]
+		if !eventLess(ev, p) {
+			break
+		}
+		q[i] = p
+		p.pos = int32(i + 1)
+		i = parent
+	}
+	q[i] = ev
+	ev.pos = int32(i + 1)
+}
+
+// siftDown places ev at index i, moving it towards the leaves while any of
+// its (up to four) children sorts before it.
+func (e *Engine) siftDown(i int, ev *Event) {
+	q := e.queue
+	n := len(q)
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		minEv := q[first]
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(q[c], minEv) {
+				min, minEv = c, q[c]
+			}
+		}
+		if !eventLess(minEv, ev) {
+			break
+		}
+		q[i] = minEv
+		minEv.pos = int32(i + 1)
+		i = min
+	}
+	q[i] = ev
+	ev.pos = int32(i + 1)
 }

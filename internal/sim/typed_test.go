@@ -1,0 +1,148 @@
+package sim
+
+import "testing"
+
+type recorder struct {
+	eng   *Engine
+	fired []any
+	times []Time
+}
+
+func (r *recorder) OnEvent(arg any) {
+	r.fired = append(r.fired, arg)
+	r.times = append(r.times, r.eng.Now())
+}
+
+// TestScheduleCallOrder interleaves typed and closure events at the same
+// instant and checks the shared (time, seq) FIFO order holds across both
+// kinds.
+func TestScheduleCallOrder(t *testing.T) {
+	eng := NewEngine()
+	var order []string
+	hook := func(tag string) func() {
+		return func() { order = append(order, tag) }
+	}
+	mark := &marker{order: &order}
+	eng.ScheduleCall(5, mark, "typed-1")
+	eng.Schedule(5, hook("closure"))
+	eng.ScheduleCall(5, mark, "typed-2")
+	eng.ScheduleCall(3, mark, "early")
+	eng.RunAll()
+	want := []string{"early", "typed-1", "closure", "typed-2"}
+	if len(order) != len(want) {
+		t.Fatalf("dispatch order: got %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order: got %v, want %v", order, want)
+		}
+	}
+}
+
+type marker struct{ order *[]string }
+
+func (m *marker) OnEvent(arg any) { *m.order = append(*m.order, arg.(string)) }
+
+// TestAtCallClampsPast mirrors At's semantics: an absolute time in the past
+// fires immediately (clamped to now), not at a negative delay.
+func TestAtCallClampsPast(t *testing.T) {
+	eng := NewEngine()
+	r := &recorder{eng: eng}
+	eng.Schedule(10, func() { eng.AtCall(5, r, "late") })
+	eng.RunAll()
+	if len(r.fired) != 1 || r.times[0] != 10 {
+		t.Fatalf("past AtCall should fire at now: fired=%v times=%v", r.fired, r.times)
+	}
+}
+
+// TestScheduleOwned exercises the caller-owned persistent event: reusable
+// after firing, cancellable, and double-schedule panics.
+func TestScheduleOwned(t *testing.T) {
+	eng := NewEngine()
+	r := &recorder{eng: eng}
+	var ev Event
+	if !ev.Cancelled() {
+		t.Fatal("zero-value Event must read as not queued")
+	}
+	eng.ScheduleOwned(&ev, 1, r, 1)
+	if ev.Cancelled() {
+		t.Fatal("scheduled owned event must read as queued")
+	}
+	eng.RunAll()
+	if !ev.Cancelled() {
+		t.Fatal("fired owned event must read as not queued")
+	}
+	eng.ScheduleOwned(&ev, 1, r, 2) // reuse after firing
+	eng.RunAll()
+	if len(r.fired) != 2 || r.fired[1] != 2 {
+		t.Fatalf("owned event reuse: fired=%v", r.fired)
+	}
+
+	eng.ScheduleOwned(&ev, 1, r, 3)
+	eng.Cancel(&ev)
+	eng.RunAll()
+	if len(r.fired) != 2 {
+		t.Fatal("cancelled owned event must not fire")
+	}
+	eng.ScheduleOwned(&ev, 1, r, 4) // reuse after cancel
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double ScheduleOwned must panic")
+		}
+	}()
+	eng.ScheduleOwned(&ev, 2, r, 5)
+}
+
+// TestPooledRecycling checks that ScheduleCall events actually return to the
+// engine free list and that a handler rescheduling itself from inside
+// OnEvent reuses storage rather than growing it.
+func TestPooledRecycling(t *testing.T) {
+	eng := NewEngine()
+	r := &recorder{eng: eng}
+	for i := 0; i < 3; i++ {
+		eng.ScheduleCall(Time(i), r, i)
+	}
+	eng.RunAll()
+	if n := len(eng.free); n != 3 {
+		t.Fatalf("free list holds %d events after drain, want 3", n)
+	}
+	// Self-rescheduling loop: the whole run should consume exactly the
+	// free-listed events, allocating none beyond them.
+	l := &selfLoop{eng: eng, remaining: 1000}
+	eng.ScheduleCall(1, l, nil)
+	eng.RunAll()
+	if n := len(eng.free); n != 3 {
+		t.Fatalf("free list holds %d events after loop, want 3 (steady-state reuse)", n)
+	}
+}
+
+type selfLoop struct {
+	eng       *Engine
+	remaining int
+}
+
+func (l *selfLoop) OnEvent(any) {
+	l.remaining--
+	if l.remaining > 0 {
+		l.eng.ScheduleCall(1, l, nil)
+	}
+}
+
+// TestClosureHandleNotRecycled pins the ABA guard: a closure event's handle
+// stays valid (and inert) after it fires — Cancel on it must not corrupt a
+// later-scheduled event.
+func TestClosureHandleNotRecycled(t *testing.T) {
+	eng := NewEngine()
+	fired := 0
+	h := eng.Schedule(1, func() { fired++ })
+	eng.RunAll()
+	if !h.Cancelled() {
+		t.Fatal("fired closure event handle must read as done")
+	}
+	eng.Schedule(1, func() { fired++ })
+	eng.Cancel(h) // stale handle: must be a no-op
+	eng.RunAll()
+	if fired != 2 {
+		t.Fatalf("stale Cancel disturbed a live event: fired=%d, want 2", fired)
+	}
+}

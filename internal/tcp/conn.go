@@ -119,6 +119,12 @@ type Conn struct {
 	pacingEvent  *sim.Event
 	nextSendTime sim.Time
 
+	// trySendFn / onRTOFn are the bound method values handed to the
+	// scheduler, built once so per-packet rescheduling does not allocate a
+	// fresh closure every time.
+	trySendFn func()
+	onRTOFn   func()
+
 	// ECN state: one reduction per RTT on ECE.
 	eceSeq int64
 
@@ -168,9 +174,11 @@ func NewConn(eng *sim.Engine, src *netem.Node, cfg Config) *Conn {
 	}
 	c.Cwnd = float64(cfg.InitialCwndSegments * cfg.MSS)
 	c.Ssthresh = 1 << 40
+	c.trySendFn = c.trySend
+	c.onRTOFn = c.onRTO
 	src.Register(cfg.Key.Reverse(), c)
 	c.cc.Init(c)
-	eng.At(cfg.StartAt, c.trySend)
+	eng.At(cfg.StartAt, c.trySendFn)
 	return c
 }
 
@@ -316,21 +324,20 @@ func (c *Conn) schedulePacing(d sim.Time) {
 	if c.pacingEvent != nil && !c.pacingEvent.Cancelled() {
 		return
 	}
-	c.pacingEvent = c.eng.Schedule(d, c.trySend)
+	c.pacingEvent = c.eng.Schedule(d, c.trySendFn)
 }
 
 // transmit sends the segment at seq. Retransmissions reuse the original
 // sequence but are flagged so RTT sampling skips them.
 func (c *Conn) transmit(seq int64, size int32, retx bool) {
 	now := c.eng.Now()
-	p := &packet.Packet{
-		Flow:        c.cfg.Key,
-		Seq:         seq,
-		PayloadSize: size,
-		Size:        size + packet.HeaderBytes,
-		SentAt:      now,
-		Retransmit:  retx,
-	}
+	p := c.node.AllocPacket()
+	p.Flow = c.cfg.Key
+	p.Seq = seq
+	p.PayloadSize = size
+	p.Size = size + packet.HeaderBytes
+	p.SentAt = now
+	p.Retransmit = retx
 	if c.cfg.ECN {
 		p.ECN = packet.ECNECT
 	}
@@ -369,7 +376,7 @@ func (c *Conn) transmit(seq int64, size int32, retx bool) {
 			at = c.lastInjectTime
 		}
 		c.lastInjectTime = at
-		c.eng.At(at, func() { c.node.Inject(p) })
+		c.node.InjectAt(at, p)
 	} else {
 		c.node.Inject(p)
 	}
@@ -642,7 +649,7 @@ func (c *Conn) armRTO() {
 	if timeout > sim.Duration(60e9) {
 		timeout = sim.Duration(60e9)
 	}
-	c.rtoEvent = c.eng.Schedule(timeout, c.onRTO)
+	c.rtoEvent = c.eng.Schedule(timeout, c.onRTOFn)
 }
 
 func (c *Conn) cancelRTO() {

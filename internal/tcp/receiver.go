@@ -141,13 +141,12 @@ func (r *Receiver) sendAck(dup bool) {
 		flags |= packet.FlagECE
 		r.ceEcho = false
 	}
-	ack := &packet.Packet{
-		Flow:   r.cfg.Key.Reverse(),
-		Ack:    r.rcvNxt,
-		Flags:  flags,
-		Size:   packet.HeaderBytes,
-		SentAt: r.eng.Now(),
-	}
+	ack := r.node.AllocPacket()
+	ack.Flow = r.cfg.Key.Reverse()
+	ack.Ack = r.rcvNxt
+	ack.Flags = flags
+	ack.Size = packet.HeaderBytes
+	ack.SentAt = r.eng.Now()
 	// Attach up to three SACK blocks (RFC 2018), lowest first, so the
 	// sender's scoreboard repairs the earliest holes first.
 	for i, iv := range r.ooo.ivs {
