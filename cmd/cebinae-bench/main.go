@@ -41,6 +41,7 @@ func main() {
 		only       = flag.String("only", "", "comma list of experiment ids to run (default: all)")
 		outPath    = flag.String("o", "", "also write the report to this file")
 		parallel   = flag.Int("p", 0, "worker pool size (0 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 1, "engines per scenario (conservative parallel sharding); the worker pool is divided by this so sweeps and sharding compose")
 		timeout    = flag.Duration("timeout", 0, "per-job wall-clock watchdog (0 = none), e.g. 10m")
 		resume     = flag.String("resume", "", "JSONL checkpoint store path; already-completed jobs in it are skipped")
 		benchjson  = flag.String("benchjson", "", "run the perf microbenchmark suite and write results to this JSON file (skips the report)")
@@ -57,7 +58,7 @@ func main() {
 	if *benchjson != "" {
 		err = runBenchJSON(*benchjson)
 	} else {
-		err = runReport(*scaleFlag, *only, *outPath, *parallel, *timeout, *resume)
+		err = runReport(*scaleFlag, *only, *outPath, *parallel, *shards, *timeout, *resume)
 	}
 	// fatal calls os.Exit, which would skip deferred profile writers — stop
 	// them explicitly before deciding the exit path.
@@ -137,11 +138,15 @@ func runBenchJSON(path string) error {
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
-func runReport(scaleFlag, only, outPath string, parallel int, timeout time.Duration, resume string) error {
+func runReport(scaleFlag, only, outPath string, parallel, shards int, timeout time.Duration, resume string) error {
 	scale, err := parseScale(scaleFlag)
 	if err != nil {
 		return err
 	}
+	if shards < 1 {
+		return fmt.Errorf("bad -shards %d (want >= 1)", shards)
+	}
+	experiments.SetDefaultShards(shards)
 
 	sections := experiments.BenchSections(scale)
 	if only != "" {
@@ -163,6 +168,7 @@ func runReport(scaleFlag, only, outPath string, parallel int, timeout time.Durat
 
 	opts := fleet.Options{
 		Parallelism: parallel,
+		CoresPerJob: shards,
 		Timeout:     timeout,
 		Progress:    os.Stderr,
 	}

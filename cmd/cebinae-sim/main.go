@@ -30,36 +30,13 @@ func main() {
 		duration = flag.Duration("duration", 20*time.Second, "simulated duration")
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 		tau      = flag.Float64("tau", -1, "override Cebinae τ (fraction; -1 = default 0.01)")
+		shards   = flag.Int("shards", 1, "engines for the run (conservative parallel sharding; a dumbbell uses at most 2)")
 	)
 	flag.Parse()
 
-	bps, err := parseBW(*bw)
+	s, err := buildScenario(*bw, *buffer, *flows, *rtt, *qdisc, *duration, *seed, *tau, *shards)
 	if err != nil {
 		fatal(err)
-	}
-	groups, err := parseGroups(*flows, *rtt)
-	if err != nil {
-		fatal(err)
-	}
-
-	s := experiments.Scenario{
-		Name:          "cli",
-		BottleneckBps: bps,
-		BufferBytes:   *buffer * 1500,
-		Groups:        groups,
-		Duration:      experiments.SimTime(duration.Nanoseconds()),
-		Qdisc:         experiments.QdiscKind(*qdisc),
-		Seed:          *seed,
-	}
-	switch s.Qdisc {
-	case experiments.FIFO, experiments.FQ, experiments.Cebinae:
-	default:
-		fatal(fmt.Errorf("unknown qdisc %q", *qdisc))
-	}
-	if *tau >= 0 && s.Qdisc == experiments.Cebinae {
-		p := experiments.DefaultCebinaeParams(s)
-		p.Tau = *tau
-		s.Params = &p
 	}
 
 	start := time.Now()
@@ -79,6 +56,43 @@ func main() {
 		fmt.Printf("cebinae: %d rotations, %d recomputes, %d phase changes, %d delayed, %d LBF drops, %d buffer drops, %d ECN marks\n",
 			st.Rotations, st.Recomputes, st.PhaseChanges, st.Delayed, st.LBFDrops, st.BufferDrops, st.ECNMarked)
 	}
+}
+
+// buildScenario turns the CLI flags into a runnable Scenario; every
+// validation failure the command can hit funnels through here.
+func buildScenario(bw string, buffer int, flows, rtt, qdisc string, duration time.Duration, seed uint64, tau float64, shards int) (experiments.Scenario, error) {
+	bps, err := parseBW(bw)
+	if err != nil {
+		return experiments.Scenario{}, err
+	}
+	groups, err := parseGroups(flows, rtt)
+	if err != nil {
+		return experiments.Scenario{}, err
+	}
+	if shards < 1 {
+		return experiments.Scenario{}, fmt.Errorf("bad -shards %d (want >= 1)", shards)
+	}
+	s := experiments.Scenario{
+		Name:          "cli",
+		BottleneckBps: bps,
+		BufferBytes:   buffer * 1500,
+		Groups:        groups,
+		Duration:      experiments.SimTime(duration.Nanoseconds()),
+		Qdisc:         experiments.QdiscKind(qdisc),
+		Seed:          seed,
+		Shards:        shards,
+	}
+	switch s.Qdisc {
+	case experiments.FIFO, experiments.FQ, experiments.Cebinae:
+	default:
+		return experiments.Scenario{}, fmt.Errorf("unknown qdisc %q", qdisc)
+	}
+	if tau >= 0 && s.Qdisc == experiments.Cebinae {
+		p := experiments.DefaultCebinaeParams(s)
+		p.Tau = tau
+		s.Params = &p
+	}
+	return s, nil
 }
 
 func parseBW(s string) (float64, error) {

@@ -40,6 +40,7 @@ func main() {
 		rtt        = flag.String("rtt", "50ms", "comma list of per-group base RTTs (one value applies to all)")
 		seed       = flag.Uint64("seed", def.Seed, "simulation seed")
 		parallel   = flag.Int("p", 0, "worker pool size (0 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 1, "engines per grid cell (conservative parallel sharding); the worker pool is divided by this")
 		timeout    = flag.Duration("timeout", 0, "per-job wall-clock watchdog (0 = none), e.g. 10m")
 		storePath  = flag.String("store", "sweep.jsonl", "JSONL result store (one line per completed grid cell)")
 		resume     = flag.Bool("resume", false, "reuse an existing store, skipping its completed cells")
@@ -53,6 +54,11 @@ func main() {
 		fatal(err)
 	}
 	defer stopProfiles()
+
+	if *shards < 1 {
+		fatal(fmt.Errorf("bad -shards %d (want >= 1)", *shards))
+	}
+	experiments.SetDefaultShards(*shards)
 
 	cfg := def
 	cfg.BufferBytes = *buffer * 1500
@@ -90,6 +96,7 @@ func main() {
 	start := time.Now()
 	sum, err := fleet.Run(jobs, fleet.Options{
 		Parallelism: *parallel,
+		CoresPerJob: *shards,
 		Timeout:     *timeout,
 		Store:       store,
 		Progress:    os.Stderr,

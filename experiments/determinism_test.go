@@ -42,6 +42,77 @@ func renderResult(r Result) string {
 	return s
 }
 
+// differentialScenarios is the scenario family every shard count must
+// reproduce byte-for-byte: the full determinism scenario (Cebinae with
+// sampling) plus FIFO and FQ variants with different CC mixes, so the
+// comparison crosses the engine, netem's cut-link handoff, every
+// transport, and the metrics pipeline.
+func differentialScenarios() []Scenario {
+	base := determinismScenario()
+
+	fifo := base
+	fifo.Name, fifo.Qdisc, fifo.Duration = "diff/fifo", FIFO, Seconds(2)
+	fifo.Groups = []FlowGroup{
+		{CC: "newreno", Count: 2, RTT: Millis(30)},
+		{CC: "bbr", Count: 1, RTT: Millis(30)},
+		{CC: "vegas", Count: 1, RTT: Millis(80)},
+	}
+
+	fq := base
+	fq.Name, fq.Qdisc, fq.Duration = "diff/fq", FQ, Seconds(2)
+	fq.SampleInterval = 0
+
+	return []Scenario{base, fifo, fq}
+}
+
+// TestShardDifferential is the sharded engine's correctness gate: every
+// scenario run at 1, 2, and 4 shards must produce byte-identical rendered
+// reports and identical event counts. `make race` runs this same test
+// under the race detector, which exercises the barrier protocol and the
+// SPSC handoff queues.
+func TestShardDifferential(t *testing.T) {
+	for _, s := range differentialScenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			s.Shards = 1
+			want := Run(s)
+			ref := renderResult(want)
+			for _, n := range []int{2, 4} {
+				s.Shards = n
+				got := Run(s)
+				if got.Events != want.Events {
+					t.Errorf("shards=%d: event count %d, want %d (single-engine)", n, got.Events, want.Events)
+				}
+				if r := renderResult(got); r != ref {
+					t.Errorf("shards=%d: report not byte-identical to single-engine run:\n--- shards=1 ---\n%s--- shards=%d ---\n%s", n, ref, n, r)
+				}
+			}
+		})
+	}
+}
+
+// TestShardDifferentialParkingLot covers the multi-bottleneck chain — the
+// topology where sharding actually splits work across up to four engines
+// (one per switch) — under both FIFO and Cebinae bottlenecks.
+func TestShardDifferentialParkingLot(t *testing.T) {
+	dur := Seconds(2)
+	for _, kind := range []QdiscKind{FIFO, Cebinae} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			want, wantEvents := RunParkingLotShards(kind, dur, 1)
+			for _, n := range []int{2, 4} {
+				got, gotEvents := RunParkingLotShards(kind, dur, n)
+				if gotEvents != wantEvents {
+					t.Errorf("shards=%d: event count %d, want %d", n, gotEvents, wantEvents)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("shards=%d: goodputs diverge from single-engine run:\n got %v\nwant %v", n, got, want)
+				}
+			}
+		})
+	}
+}
+
 // TestRunDeterminism is the end-to-end determinism regression gate: the same
 // scenario run twice in one process must produce an identical event count,
 // identical structured results, and byte-identical rendered output. `make

@@ -12,6 +12,7 @@ import (
 	"cebinae/internal/packet"
 	"cebinae/internal/qdisc"
 	"cebinae/internal/resource"
+	"cebinae/internal/shard"
 	"cebinae/internal/sim"
 	"cebinae/internal/tcp"
 	"cebinae/internal/trace"
@@ -93,13 +94,24 @@ func Fig11(scale Scale) Fig11Result {
 // runParkingLot builds and runs the 3-hop chain for one discipline,
 // returning per-flow goodputs (bits/sec) in paper order.
 func runParkingLot(kind QdiscKind, dur sim.Time) []float64 {
-	eng := sim.NewEngine()
-	w := netem.NewNetwork(eng)
+	goodputs, _ := RunParkingLotShards(kind, dur, 0)
+	return goodputs
+}
+
+// RunParkingLotShards runs the Fig.11 parking-lot chain partitioned
+// across `shards` engines (0 selects the package default; the 3-hop
+// chain's ceiling is 4 — one shard per switch). It returns per-flow
+// goodputs in paper order plus the total dispatched event count; both are
+// byte-identical at any shard count, which the differential regression
+// tests assert.
+func RunParkingLotShards(kind QdiscKind, dur sim.Time, shards int) ([]float64, uint64) {
+	cl := shard.NewCluster(effectiveShards(shards, 4))
 	const (
 		rate    = 100e6
 		bufMTUs = 850
 	)
 	btlQdisc := func(dev *netem.Device) netem.Qdisc {
+		eng := dev.Node().Engine()
 		switch kind {
 		case FQ:
 			return qdisc.NewFQCoDel(eng, bufMTUs*1500, 0, qdisc.DefaultCoDelParams())
@@ -111,7 +123,7 @@ func runParkingLot(kind QdiscKind, dur sim.Time) []float64 {
 			return qdisc.NewFIFO(bufMTUs * 1500)
 		}
 	}
-	pl := netem.BuildParkingLot(w, netem.ParkingLotConfig{
+	pl := netem.BuildParkingLotOn(cl, netem.ParkingLotConfig{
 		Hops:            3,
 		LongFlows:       8,
 		CrossPerHop:     []int{2, 8, 4},
@@ -144,18 +156,18 @@ func runParkingLot(kind QdiscKind, dur sim.Time) []float64 {
 			panic("unknown cc " + e.cc)
 		}
 		key := packet.FlowKey{Src: e.s.ID, Dst: e.r.ID, SrcPort: uint16(1000 + i), DstPort: uint16(5000 + i), Proto: packet.ProtoTCP}
-		tcp.NewConn(eng, e.s, tcp.Config{Key: key, CC: cc, Seed: uint64(i), MinRTO: Seconds(1)})
-		recv := tcp.NewReceiver(eng, e.r, tcp.ReceiverConfig{Key: key})
+		tcp.NewConn(e.s.Engine(), e.s, tcp.Config{Key: key, CC: cc, Seed: uint64(i), MinRTO: Seconds(1)})
+		recv := tcp.NewReceiver(e.r.Engine(), e.r, tcp.ReceiverConfig{Key: key})
 		m := &metrics.FlowMeter{}
 		recv.GoodputAt = m.Record
 		meters[i] = m
 	}
-	eng.Run(dur)
+	cl.Run(dur)
 	out := make([]float64, len(eps))
 	for i, m := range meters {
 		out[i] = m.RateOver(dur/5, dur) * 8
 	}
-	return out
+	return out, cl.Processed()
 }
 
 // Render prints per-flow goodputs against the ideal.

@@ -16,6 +16,7 @@ import (
 	"cebinae/internal/netem"
 	"cebinae/internal/packet"
 	"cebinae/internal/qdisc"
+	"cebinae/internal/shard"
 	"cebinae/internal/sim"
 	"cebinae/internal/tcp"
 )
@@ -97,6 +98,44 @@ type Scenario struct {
 	Seed           uint64
 	// SampleInterval enables time-series sampling when non-zero.
 	SampleInterval sim.Time
+	// Shards partitions the simulation across that many engines (one
+	// goroutine each) with conservative time-window synchronisation; 0
+	// selects the package default (SetDefaultShards). Results are
+	// byte-identical at any shard count. A dumbbell has a single
+	// shardable boundary (the bottleneck), so values above 2 behave
+	// like 2 here; multi-bottleneck chains scale further.
+	Shards int
+}
+
+// defaultShards is used when Scenario.Shards is zero. SetDefaultShards
+// lets the CLIs apply a -shards flag to every scenario they construct;
+// call it before launching runs (it is read without synchronisation by
+// fleet workers).
+var defaultShards = 1
+
+// SetDefaultShards sets the shard count scenarios use when their Shards
+// field is zero. Values below 1 select 1.
+func SetDefaultShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultShards = n
+}
+
+// effectiveShards resolves a scenario's shard count against the package
+// default and a topology-imposed ceiling.
+func effectiveShards(configured, max int) int {
+	n := configured
+	if n <= 0 {
+		n = defaultShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > max {
+		n = max
+	}
+	return n
 }
 
 // FlowResult is one flow's measured outcome.
@@ -178,8 +217,9 @@ func Run(s Scenario) Result {
 	if s.MinRTO == 0 {
 		s.MinRTO = Seconds(1)
 	}
-	eng := sim.NewEngine()
-	w := netem.NewNetwork(eng)
+	// A dumbbell has one shardable boundary — the bottleneck — so two
+	// engines (senders+SW1 | SW2+receivers) is the useful maximum.
+	cl := shard.NewCluster(effectiveShards(s.Shards, 2))
 
 	var flat []FlowGroup
 	for _, g := range s.Groups {
@@ -193,13 +233,15 @@ func Run(s Scenario) Result {
 	}
 
 	var cq *core.Qdisc
-	d := netem.BuildDumbbell(w, netem.DumbbellConfig{
+	d := netem.BuildDumbbellOn(cl, netem.DumbbellConfig{
 		FlowCount:       len(flat),
 		BottleneckBps:   s.BottleneckBps,
 		BottleneckDelay: sim.Duration(100e3),
 		RTTs:            rtts,
 		BottleneckQdisc: func(dev *netem.Device) netem.Qdisc {
-			q, c := buildQdisc(eng, s, dev)
+			// The qdisc must schedule on the engine of the shard that
+			// owns the bottleneck device.
+			q, c := buildQdisc(dev.Node().Engine(), s, dev)
 			cq = c
 			return q
 		},
@@ -216,8 +258,8 @@ func Run(s Scenario) Result {
 			Src: d.Senders[i].ID, Dst: d.Receivers[i].ID,
 			SrcPort: uint16(1000 + i), DstPort: uint16(5000 + i), Proto: packet.ProtoTCP,
 		}
-		tcp.NewConn(eng, d.Senders[i], tcp.Config{Key: key, CC: cc, StartAt: f.StartAt, Seed: s.Seed + uint64(i), MinRTO: s.MinRTO})
-		recv := tcp.NewReceiver(eng, d.Receivers[i], tcp.ReceiverConfig{Key: key})
+		tcp.NewConn(d.Senders[i].Engine(), d.Senders[i], tcp.Config{Key: key, CC: cc, StartAt: f.StartAt, Seed: s.Seed + uint64(i), MinRTO: s.MinRTO})
+		recv := tcp.NewReceiver(d.Receivers[i].Engine(), d.Receivers[i], tcp.ReceiverConfig{Key: key})
 		m := &metrics.FlowMeter{}
 		recv.GoodputAt = m.Record
 		meters[i] = m
@@ -225,6 +267,9 @@ func Run(s Scenario) Result {
 
 	var states []byte
 	if s.SampleInterval > 0 && cq != nil {
+		// The sampler lives on the bottleneck's shard: it reads the
+		// qdisc's state, so it must run on the engine that owns it.
+		beng := d.Bottleneck.Node().Engine()
 		var sample func()
 		sample = func() {
 			if cq.Saturated() {
@@ -232,14 +277,14 @@ func Run(s Scenario) Result {
 			} else {
 				states = append(states, 'u')
 			}
-			eng.Schedule(s.SampleInterval, sample)
+			beng.Schedule(s.SampleInterval, sample)
 		}
-		eng.Schedule(s.SampleInterval, sample)
+		beng.Schedule(s.SampleInterval, sample)
 	}
 
-	eng.Run(s.Duration)
+	cl.Run(s.Duration)
 
-	res := Result{Scenario: s, Events: eng.Processed, StateSeries: states}
+	res := Result{Scenario: s, Events: cl.Processed(), StateSeries: states}
 	warmup := sim.Time(float64(s.Duration) * s.WarmupFraction)
 	rates := make([]float64, len(flat))
 	for i, f := range flat {

@@ -169,6 +169,8 @@ func Specs() []struct {
 		{"EngineScheduleCancel", EngineScheduleCancel},
 		{"NetemForward", NetemForward},
 		{"DumbbellE2E", DumbbellE2E},
+		{ChainSpecName(1), ChainE2EShards(1)},
+		{ChainSpecName(4), ChainE2EShards(4)},
 	}
 }
 

@@ -1,6 +1,7 @@
 package benchkit
 
 import (
+	"fmt"
 	"testing"
 
 	"cebinae/internal/netem"
@@ -14,6 +15,12 @@ func BenchmarkEngineDispatchClosure(b *testing.B) { EngineDispatchClosure(b) }
 func BenchmarkEngineScheduleCancel(b *testing.B)  { EngineScheduleCancel(b) }
 func BenchmarkNetemForward(b *testing.B)          { NetemForward(b) }
 func BenchmarkDumbbellE2E(b *testing.B)           { DumbbellE2E(b) }
+
+func BenchmarkChainE2E(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), ChainE2EShards(shards))
+	}
+}
 
 // TestEngineDispatchZeroAlloc pins the tentpole invariant: the typed
 // fast-path schedule+dispatch cycle performs no allocation at steady state.

@@ -1,0 +1,69 @@
+package benchkit
+
+import (
+	"fmt"
+	"testing"
+
+	"cebinae/internal/netem"
+	"cebinae/internal/packet"
+	"cebinae/internal/qdisc"
+	"cebinae/internal/shard"
+	"cebinae/internal/sim"
+	"cebinae/internal/tcp"
+)
+
+// chainE2E measures the sharded multi-bottleneck scenario end to end: a
+// 3-hop parking-lot chain (6 long + 24 cross NewReno flows over three
+// 100 Mbps bottlenecks), 2 simulated seconds per op, partitioned across
+// `shards` engines. The 1- and 4-shard entries bracket the conservative
+// parallel runner's speedup; the differential tests in the experiments
+// package pin both configurations to byte-identical results, so the
+// delta between the two entries is pure wall clock.
+func chainE2E(b *testing.B, shards int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cl := shard.NewCluster(shards)
+		pl := netem.BuildParkingLotOn(cl, netem.ParkingLotConfig{
+			Hops:            3,
+			LongFlows:       6,
+			CrossPerHop:     []int{8, 8, 8},
+			BottleneckBps:   100e6,
+			LinkDelay:       sim.Time(5e6),
+			AccessDelay:     sim.Time(5e6),
+			BottleneckQdisc: func(dev *netem.Device) netem.Qdisc { return qdisc.NewFIFO(850 * 1500) },
+			DefaultQdisc:    func() netem.Qdisc { return qdisc.NewFIFO(16 << 20) },
+		})
+		type pair struct{ s, r *netem.Node }
+		var eps []pair
+		for i := range pl.LongSenders {
+			eps = append(eps, pair{pl.LongSenders[i], pl.LongReceivers[i]})
+		}
+		for h := range pl.CrossSenders {
+			for c := range pl.CrossSenders[h] {
+				eps = append(eps, pair{pl.CrossSenders[h][c], pl.CrossReceivers[h][c]})
+			}
+		}
+		for fi, ep := range eps {
+			key := packet.FlowKey{
+				Src: ep.s.ID, Dst: ep.r.ID,
+				SrcPort: uint16(1000 + fi), DstPort: uint16(5000 + fi),
+				Proto: packet.ProtoTCP,
+			}
+			tcp.NewConn(ep.s.Engine(), ep.s, tcp.Config{Key: key, Seed: uint64(fi + 1)})
+			tcp.NewReceiver(ep.r.Engine(), ep.r, tcp.ReceiverConfig{Key: key})
+		}
+		cl.Run(sim.Time(2e9))
+		Sink = int(cl.Processed())
+	}
+}
+
+// ChainE2EShards returns the chain benchmark pinned to a shard count, for
+// registration in Specs and as a go-test benchmark.
+func ChainE2EShards(shards int) func(*testing.B) {
+	return func(b *testing.B) { chainE2E(b, shards) }
+}
+
+// ChainSpecName names the chain benchmark entry for a shard count.
+func ChainSpecName(shards int) string {
+	return fmt.Sprintf("ChainE2E/shards=%d", shards)
+}

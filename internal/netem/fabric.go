@@ -1,0 +1,33 @@
+package netem
+
+// Fabric abstracts where topology nodes live: a single Network puts every
+// node on one engine; a sharded cluster (internal/shard) partitions nodes
+// across several engines and turns links between partitions into cut
+// links. Topology builders written against Fabric make the same NodeOn /
+// Connect calls in the same order regardless of the partition count, so
+// node IDs — and everything derived from them: flow keys, per-connection
+// RNG seeds — are identical at any shard count. That construction-order
+// identity is the foundation of the byte-identical guarantee the sharded
+// runner makes.
+type Fabric interface {
+	// Shards returns the partition count (1 for a plain Network).
+	Shards() int
+	// NodeOn creates a node on partition `shard` (clamped to the valid
+	// range; ignored by single-Network fabrics).
+	NodeOn(shard int, name string) *Node
+	// Connect builds a full-duplex link between a and b. When the nodes
+	// live on different partitions the fabric installs a cut-link pair
+	// (two ConnectHalf devices bridged by handoff queues) instead of
+	// local peers; cut links require a positive delay, which bounds the
+	// conservative lookahead.
+	Connect(a, b *Node, cfg LinkConfig) (*Device, *Device)
+}
+
+// Shards implements Fabric for a plain Network: one partition.
+func (w *Network) Shards() int { return 1 }
+
+// NodeOn implements Fabric for a plain Network; the shard hint is
+// ignored.
+func (w *Network) NodeOn(_ int, name string) *Node { return w.NewNode(name) }
+
+var _ Fabric = (*Network)(nil)

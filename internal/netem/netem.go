@@ -33,6 +33,18 @@ type Endpoint interface {
 	Deliver(p *packet.Packet)
 }
 
+// Handoff receives packets leaving the transmit side of a cut link — a
+// link whose peer device lives in a different Network (and typically on a
+// different engine). Instead of scheduling the peer's arrival event
+// directly, the device passes each serialised packet to the handoff with
+// its computed arrival time; the remote runner delivers it by calling
+// InjectArrivalAt on the opposite half. The handoff takes ownership of
+// the packet: it must copy what it needs and release the packet to the
+// source network's pool before returning.
+type Handoff interface {
+	Handoff(p *packet.Packet, arrival sim.Time)
+}
+
 // DeviceStats aggregates transmit-side counters for throughput accounting.
 type DeviceStats struct {
 	TxPackets   uint64
@@ -55,6 +67,11 @@ type Device struct {
 
 	qdisc Qdisc
 	busy  bool
+
+	// handoff, when non-nil, marks this device as the local half of a cut
+	// link: completed transmissions are handed to it instead of being
+	// scheduled as arrival events on a peer.
+	handoff Handoff
 
 	// txEvent is the device's persistent transmit-completion event: a
 	// device serialises at most one packet at a time, so one caller-owned
@@ -142,7 +159,11 @@ func (t *deviceTxDone) OnEvent(any) {
 	if d.OnTransmit != nil {
 		d.OnTransmit(p)
 	}
-	d.node.net.Engine.ScheduleCall(d.delay, (*deviceArrival)(d.peer), p)
+	if d.handoff != nil {
+		d.handoff.Handoff(p, d.node.net.Engine.Now()+d.delay)
+	} else {
+		d.node.net.Engine.ScheduleCall(d.delay, (*deviceArrival)(d.peer), p)
+	}
 	d.transmitNext()
 }
 
@@ -151,6 +172,16 @@ type deviceArrival Device
 
 func (r *deviceArrival) OnEvent(arg any) {
 	(*Device)(r).receive(arg.(*packet.Packet))
+}
+
+// InjectArrivalAt schedules p's arrival on this device at absolute virtual
+// time t — the receive leg of a cut link. It is the cross-engine
+// equivalent of the pooled propagation event a local transmit completion
+// schedules, so a sharded run dispatches exactly one arrival event per
+// hop, like the single-engine run. p must be owned by this device's
+// network (drawn from its pool or handed over for good).
+func (d *Device) InjectArrivalAt(t sim.Time, p *packet.Packet) {
+	d.node.net.Engine.AtCall(t, (*deviceArrival)(d), p)
 }
 
 // Kick restarts the transmitter if it is idle and the qdisc has become
@@ -186,6 +217,14 @@ type Node struct {
 
 // Devices returns the node's attachment points in creation order.
 func (n *Node) Devices() []*Device { return n.devices }
+
+// Network returns the owning network.
+func (n *Node) Network() *Network { return n.net }
+
+// Engine returns the engine the node's network runs on. In a sharded run
+// every consumer of a node (transport endpoints, qdiscs, samplers) must
+// schedule on this engine, not on some global one.
+func (n *Node) Engine() *sim.Engine { return n.net.Engine }
 
 // AddRoute installs dev as the next hop towards dst.
 func (n *Node) AddRoute(dst packet.NodeID, dev *Device) {
@@ -264,8 +303,16 @@ func NewNetwork(eng *sim.Engine) *Network {
 
 // NewNode adds a node with a unique ID.
 func (w *Network) NewNode(name string) *Node {
+	return w.NewNodeWithID(packet.NodeID(len(w.nodes)+1), name)
+}
+
+// NewNodeWithID adds a node with a caller-chosen ID. Sharded fabrics
+// allocate IDs from one cluster-global counter so a partitioned topology
+// numbers its nodes — and therefore its flow keys and per-connection RNG
+// seeds — exactly like the single-network build.
+func (w *Network) NewNodeWithID(id packet.NodeID, name string) *Node {
 	n := &Node{
-		ID:     packet.NodeID(len(w.nodes) + 1),
+		ID:     id,
 		Name:   name,
 		net:    w,
 		routes: make(map[packet.NodeID]*Device),
@@ -304,4 +351,22 @@ func (w *Network) Connect(a, b *Node, cfg LinkConfig) (*Device, *Device) {
 	a.devices = append(a.devices, da)
 	b.devices = append(b.devices, db)
 	return da, db
+}
+
+// ConnectHalf creates the local half of a full-duplex link whose other
+// half lives in a different Network — one direction of a cut link in a
+// sharded run. peerName is the remote node's name (used only for the
+// device name, which matches what Connect would have produced). Outbound
+// packets serialise through the qdisc and transmitter exactly as on a
+// local link and are then passed to h with their arrival time.
+func (w *Network) ConnectHalf(a *Node, peerName string, cfg LinkConfig, h Handoff) *Device {
+	if cfg.RateBps <= 0 {
+		panic(fmt.Sprintf("netem: non-positive link rate %v", cfg.RateBps))
+	}
+	d := &Device{Name: fmt.Sprintf("%s->%s", a.Name, peerName), node: a, rate: cfg.RateBps, delay: cfg.Delay, handoff: h}
+	if cfg.QdiscFactory != nil {
+		d.qdisc = cfg.QdiscFactory()
+	}
+	a.devices = append(a.devices, d)
+	return d
 }

@@ -15,6 +15,8 @@ import (
 //	 …  ├─ SW1 ══bottleneck══ SW2 ┤ …
 //	sN ─┘                     └─ rN
 type Dumbbell struct {
+	// Net is the network holding SW1 and the senders (the whole topology
+	// on a single-Network fabric).
 	Net       *Network
 	Senders   []*Node
 	Receivers []*Node
@@ -55,8 +57,26 @@ func (c *DumbbellConfig) RTTForFlow(i int) sim.Time {
 	return c.RTTs[i]
 }
 
-// BuildDumbbell constructs the topology and installs routes.
+// BuildDumbbell constructs the topology on a single network and installs
+// routes.
 func BuildDumbbell(w *Network, cfg DumbbellConfig) *Dumbbell {
+	return BuildDumbbellOn(w, cfg)
+}
+
+// BuildDumbbellOn constructs the dumbbell on an arbitrary fabric.
+//
+// Partition plan: a dumbbell has exactly one shardable boundary — the
+// bottleneck link. Receivers stay in their switch's region because their
+// access delay is zero (a zero-delay cut would leave no lookahead), and
+// senders stay in SW1's region because same-RTT senders have identical
+// access delays: splitting them across regions would make exact
+// same-nanosecond arrival ties at SW1 likely, which is precisely where a
+// conservative parallel run could order events differently from the
+// single-engine run. So region 0 is SW1 plus every sender, the last
+// region is SW2 plus every receiver, and the only cut link is the
+// bottleneck itself (lookahead = BottleneckDelay). Any fabric with more
+// than two shards leaves the middle shards idle.
+func BuildDumbbellOn(f Fabric, cfg DumbbellConfig) *Dumbbell {
 	if cfg.FlowCount <= 0 {
 		panic("netem: dumbbell needs at least one flow")
 	}
@@ -67,12 +87,14 @@ func BuildDumbbell(w *Network, cfg DumbbellConfig) *Dumbbell {
 	if access == 0 {
 		access = 10 * cfg.BottleneckBps
 	}
+	left, right := 0, f.Shards()-1
 
-	d := &Dumbbell{Net: w}
-	d.SW1 = w.NewNode("sw1")
-	d.SW2 = w.NewNode("sw2")
+	d := &Dumbbell{}
+	d.SW1 = f.NodeOn(left, "sw1")
+	d.SW2 = f.NodeOn(right, "sw2")
+	d.Net = d.SW1.Network()
 
-	btl, btlRev := w.Connect(d.SW1, d.SW2, LinkConfig{RateBps: cfg.BottleneckBps, Delay: cfg.BottleneckDelay})
+	btl, btlRev := f.Connect(d.SW1, d.SW2, LinkConfig{RateBps: cfg.BottleneckBps, Delay: cfg.BottleneckDelay})
 	d.Bottleneck, d.BottleneckRev = btl, btlRev
 	btl.SetQdisc(cfg.BottleneckQdisc(btl))
 	btlRev.SetQdisc(cfg.DefaultQdisc())
@@ -88,10 +110,10 @@ func BuildDumbbell(w *Network, cfg DumbbellConfig) *Dumbbell {
 			sendDelay = 0
 		}
 
-		s := w.NewNode(fmt.Sprintf("s%d", i))
-		r := w.NewNode(fmt.Sprintf("r%d", i))
-		sDev, sw1Dev := w.Connect(s, d.SW1, LinkConfig{RateBps: access, Delay: sendDelay})
-		sw2Dev, rDev := w.Connect(d.SW2, r, LinkConfig{RateBps: access, Delay: recvDelay})
+		s := f.NodeOn(left, fmt.Sprintf("s%d", i))
+		r := f.NodeOn(right, fmt.Sprintf("r%d", i))
+		sDev, sw1Dev := f.Connect(s, d.SW1, LinkConfig{RateBps: access, Delay: sendDelay})
+		sw2Dev, rDev := f.Connect(d.SW2, r, LinkConfig{RateBps: access, Delay: recvDelay})
 		for _, dev := range []*Device{sDev, sw1Dev, sw2Dev, rDev} {
 			dev.SetQdisc(cfg.DefaultQdisc())
 		}
@@ -118,6 +140,8 @@ func BuildDumbbell(w *Network, cfg DumbbellConfig) *Dumbbell {
 //	long senders ─ SW0 ══ℓ1══ SW1 ══ℓ2══ SW2 ══ℓ3══ SW3 ─ long receivers
 //	                │cross1↑↓        │cross2↑↓       │cross3↑↓
 type ParkingLot struct {
+	// Net is the network holding the first switch (the whole topology on
+	// a single-Network fabric).
 	Net      *Network
 	Switches []*Node
 	// LongSenders/LongReceivers carry the end-to-end flows.
@@ -146,8 +170,21 @@ type ParkingLotConfig struct {
 	DefaultQdisc    func() Qdisc
 }
 
-// BuildParkingLot constructs the chain topology with routes.
+// BuildParkingLot constructs the chain topology on a single network with
+// routes.
 func BuildParkingLot(w *Network, cfg ParkingLotConfig) *ParkingLot {
+	return BuildParkingLotOn(w, cfg)
+}
+
+// BuildParkingLotOn constructs the chain on an arbitrary fabric.
+//
+// Partition plan: the switch chain is split into contiguous blocks (switch
+// h goes to shard h·n/(hops+1)) and every host is colocated with the
+// switch it attaches to, so the only cut links are inter-switch bottleneck
+// links (lookahead = LinkDelay). This is the topology where sharding pays
+// off: with hops+1 switches a fabric can use up to hops+1 shards, each
+// carrying one bottleneck's worth of work.
+func BuildParkingLotOn(f Fabric, cfg ParkingLotConfig) *ParkingLot {
 	if cfg.Hops < 1 || len(cfg.CrossPerHop) != cfg.Hops {
 		panic("netem: parking lot misconfigured")
 	}
@@ -155,24 +192,27 @@ func BuildParkingLot(w *Network, cfg ParkingLotConfig) *ParkingLot {
 	if access == 0 {
 		access = 10 * cfg.BottleneckBps
 	}
+	n := f.Shards()
+	shardOf := func(sw int) int { return sw * n / (cfg.Hops + 1) }
 
-	pl := &ParkingLot{Net: w}
+	pl := &ParkingLot{}
 	for i := 0; i <= cfg.Hops; i++ {
-		pl.Switches = append(pl.Switches, w.NewNode(fmt.Sprintf("sw%d", i)))
+		pl.Switches = append(pl.Switches, f.NodeOn(shardOf(i), fmt.Sprintf("sw%d", i)))
 	}
+	pl.Net = pl.Switches[0].Network()
 	fwd := make([]*Device, cfg.Hops)
 	rev := make([]*Device, cfg.Hops)
 	for h := 0; h < cfg.Hops; h++ {
-		f, r := w.Connect(pl.Switches[h], pl.Switches[h+1], LinkConfig{RateBps: cfg.BottleneckBps, Delay: cfg.LinkDelay})
-		f.SetQdisc(cfg.BottleneckQdisc(f))
-		r.SetQdisc(cfg.DefaultQdisc())
-		fwd[h], rev[h] = f, r
+		fd, rd := f.Connect(pl.Switches[h], pl.Switches[h+1], LinkConfig{RateBps: cfg.BottleneckBps, Delay: cfg.LinkDelay})
+		fd.SetQdisc(cfg.BottleneckQdisc(fd))
+		rd.SetQdisc(cfg.DefaultQdisc())
+		fwd[h], rev[h] = fd, rd
 	}
 	pl.Bottlenecks = fwd
 
-	attachHost := func(name string, sw *Node) (*Node, *Device, *Device) {
-		h := w.NewNode(name)
-		hd, swd := w.Connect(h, sw, LinkConfig{RateBps: access, Delay: cfg.AccessDelay})
+	attachHost := func(name string, sw int) (*Node, *Device, *Device) {
+		h := f.NodeOn(shardOf(sw), name)
+		hd, swd := f.Connect(h, pl.Switches[sw], LinkConfig{RateBps: access, Delay: cfg.AccessDelay})
 		hd.SetQdisc(cfg.DefaultQdisc())
 		swd.SetQdisc(cfg.DefaultQdisc())
 		return h, hd, swd
@@ -194,8 +234,8 @@ func BuildParkingLot(w *Network, cfg ParkingLotConfig) *ParkingLot {
 	}
 
 	for i := 0; i < cfg.LongFlows; i++ {
-		s, sDev, sw0Dev := attachHost(fmt.Sprintf("L%ds", i), pl.Switches[0])
-		r, rDev, swNDev := attachHost(fmt.Sprintf("L%dr", i), pl.Switches[cfg.Hops])
+		s, sDev, sw0Dev := attachHost(fmt.Sprintf("L%ds", i), 0)
+		r, rDev, swNDev := attachHost(fmt.Sprintf("L%dr", i), cfg.Hops)
 		addFlowPath(s, sDev, 0, r, rDev, cfg.Hops, sw0Dev, swNDev)
 		pl.LongSenders = append(pl.LongSenders, s)
 		pl.LongReceivers = append(pl.LongReceivers, r)
@@ -205,8 +245,8 @@ func BuildParkingLot(w *Network, cfg ParkingLotConfig) *ParkingLot {
 	pl.CrossReceivers = make([][]*Node, cfg.Hops)
 	for h := 0; h < cfg.Hops; h++ {
 		for c := 0; c < cfg.CrossPerHop[h]; c++ {
-			s, sDev, swADev := attachHost(fmt.Sprintf("X%d_%ds", h, c), pl.Switches[h])
-			r, rDev, swBDev := attachHost(fmt.Sprintf("X%d_%dr", h, c), pl.Switches[h+1])
+			s, sDev, swADev := attachHost(fmt.Sprintf("X%d_%ds", h, c), h)
+			r, rDev, swBDev := attachHost(fmt.Sprintf("X%d_%dr", h, c), h+1)
 			addFlowPath(s, sDev, h, r, rDev, h+1, swADev, swBDev)
 			pl.CrossSenders[h] = append(pl.CrossSenders[h], s)
 			pl.CrossReceivers[h] = append(pl.CrossReceivers[h], r)

@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"sync/atomic"
+
+	"cebinae/internal/packet"
+	"cebinae/internal/sim"
+)
+
+// record is one packet in flight across a shard boundary. Packet pools
+// are per-shard and unsynchronised, so the packet's bytes are copied out
+// of the source pool at handoff and copied into the destination pool at
+// injection. SACK blocks are captured in a fixed inline buffer —
+// receivers emit at most three blocks (RFC 2018) — so the steady-state
+// record is pointer-free and handoff performs no allocation.
+type record struct {
+	arrival sim.Time
+	pkt     packet.Packet
+	sack    [3]packet.SackBlock
+	nsack   int
+	// sackOverflow holds blocks beyond the inline buffer; nil in any
+	// realistic run.
+	sackOverflow []packet.SackBlock
+}
+
+// capture fills the record from p without retaining any of p's memory.
+func (r *record) capture(p *packet.Packet, arrival sim.Time) {
+	r.arrival = arrival
+	r.pkt = *p
+	r.pkt.SACK = nil
+	r.nsack = len(p.SACK)
+	if r.nsack <= len(r.sack) {
+		copy(r.sack[:], p.SACK)
+	} else {
+		r.sackOverflow = append([]packet.SackBlock(nil), p.SACK...)
+	}
+}
+
+// restore copies the record into q, a packet drawn from the destination
+// shard's pool, preserving q's retained SACK backing array.
+func (r *record) restore(q *packet.Packet) {
+	sack := q.SACK[:0]
+	*q = r.pkt
+	if r.nsack <= len(r.sack) {
+		q.SACK = append(sack, r.sack[:r.nsack]...)
+	} else {
+		q.SACK = append(sack, r.sackOverflow...)
+	}
+}
+
+// ringSize bounds the lock-free part of each cut-link queue. A window's
+// worth of full-size packets at typical bottleneck rates fits easily;
+// bursts beyond it spill to the producer-owned overflow slice, so the
+// queue never blocks and never drops.
+const ringSize = 512
+
+// spsc is a bounded single-producer single-consumer queue of handoff
+// records with an unbounded overflow. The producer is the source shard's
+// goroutine (during a window); the consumer is the destination shard's
+// goroutine (at the barrier before its next window, when the producer is
+// quiescent). head/tail are atomic so ring entries published mid-window
+// are visible without the barrier's happens-before edge; the overflow
+// slice is plain because it is only touched under that edge.
+type spsc struct {
+	buf      [ringSize]record
+	head     atomic.Uint64 // next slot to consume
+	tail     atomic.Uint64 // next slot to produce
+	overflow []record
+}
+
+// push appends r (producer side). FIFO order is preserved across the
+// ring/overflow split: once a window spills to overflow the ring is full
+// and stays full until the barrier drain, so every ring entry predates
+// every overflow entry.
+func (q *spsc) push(r *record) {
+	t := q.tail.Load()
+	if t-q.head.Load() < ringSize {
+		q.buf[t%ringSize] = *r
+		q.tail.Store(t + 1)
+		return
+	}
+	q.overflow = append(q.overflow, *r)
+}
+
+// drain moves every queued record out through fn in FIFO order (consumer
+// side, barrier only).
+func (q *spsc) drain(fn func(*record)) {
+	h, t := q.head.Load(), q.tail.Load()
+	for ; h < t; h++ {
+		r := &q.buf[h%ringSize]
+		fn(r)
+		*r = record{}
+	}
+	q.head.Store(h)
+	for i := range q.overflow {
+		fn(&q.overflow[i])
+		q.overflow[i] = record{}
+	}
+	q.overflow = q.overflow[:0]
+}

@@ -1,0 +1,278 @@
+// Package shard runs one netem topology across several sim.Engine
+// instances — one goroutine per shard — using conservative time-window
+// synchronisation (a barrier-synchronised variant of the classical
+// CMB/null-message family of parallel discrete-event schemes).
+//
+// A Cluster is a netem.Fabric: topology builders place nodes on shards
+// and every link between shards becomes a cut link — a pair of
+// netem.ConnectHalf devices bridged by bounded SPSC handoff queues. The
+// cluster's lookahead W is the minimum propagation delay over all cut
+// links. Execution proceeds in windows of width W: every shard dispatches
+// its local events up to the window horizon, the cluster barriers, each
+// shard drains its inbound handoff queues (injecting cross-shard arrivals
+// in (time, link, FIFO) order), and the next window begins. A packet
+// whose transmission completes at time t inside a window arrives at
+// t+delay ≥ t+W, which is strictly beyond the window horizon — so every
+// cross-shard arrival is injected at a barrier before the window that
+// dispatches it, and no shard ever sees an event "from the past".
+//
+// Byte-identical results. Node IDs are allocated from one cluster-global
+// counter in builder call order, so flow keys, RNG seeds, and connection
+// state match the single-engine build exactly. Each hop costs exactly one
+// arrival event in both modes (a pooled propagation event locally, an
+// injected AtCall across a cut), so engine event counts match. The one
+// residual freedom is the engine's FIFO tie-break for events at the exact
+// same nanosecond: an injected arrival acquires its sequence number at
+// the barrier rather than at the remote transmit completion. The topology
+// builders choose partitions where same-instant ties between a cut
+// arrival and an interacting local event are not systematically produced
+// (see BuildDumbbellOn / BuildParkingLotOn), and the experiments package
+// locks the guarantee down with differential tests that require
+// byte-identical reports at 1, 2, and 4 shards.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"cebinae/internal/netem"
+	"cebinae/internal/packet"
+	"cebinae/internal/sim"
+)
+
+// Shard is one partition: an engine, its network (with a private packet
+// pool), and the cut links that terminate here.
+type Shard struct {
+	Engine *sim.Engine
+	Net    *netem.Network
+
+	inbound []*cutLink
+	pending []pendingArrival
+}
+
+// Cluster partitions one simulated topology across n engines. It
+// implements netem.Fabric, so netem's topology builders run on it
+// unchanged. Construction (NodeOn/Connect) and Run must be called from a
+// single goroutine; Run spawns and joins the per-shard workers itself.
+type Cluster struct {
+	shards []*Shard
+	links  []*cutLink
+	nodes  int
+}
+
+// NewCluster returns a cluster of n empty shards (n >= 1). A 1-shard
+// cluster is exactly a single-engine simulation: no cut links, no
+// barriers, no extra goroutines.
+func NewCluster(n int) *Cluster {
+	if n < 1 {
+		panic(fmt.Sprintf("shard: cluster needs at least one shard, got %d", n))
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		eng := sim.NewEngine()
+		c.shards = append(c.shards, &Shard{Engine: eng, Net: netem.NewNetwork(eng)})
+	}
+	return c
+}
+
+// Shards returns the partition count.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Shard returns partition i.
+func (c *Cluster) Shard(i int) *Shard { return c.shards[i] }
+
+// NodeOn creates a node on partition `shard` (clamped to the valid
+// range). IDs come from a cluster-global counter in call order, so the
+// node numbering is identical to the same builder running on a plain
+// Network.
+func (c *Cluster) NodeOn(shard int, name string) *netem.Node {
+	if shard < 0 {
+		shard = 0
+	}
+	if shard >= len(c.shards) {
+		shard = len(c.shards) - 1
+	}
+	c.nodes++
+	return c.shards[shard].Net.NewNodeWithID(packet.NodeID(c.nodes), name)
+}
+
+// Connect links a and b: a local peered pair when both live on the same
+// shard, a cut-link pair (two half devices bridged by handoff queues)
+// otherwise. Cut links must have positive delay — the conservative
+// lookahead is the minimum latency over all cut links, and a zero-delay
+// cut would leave no window to parallelise.
+func (c *Cluster) Connect(a, b *netem.Node, cfg netem.LinkConfig) (*netem.Device, *netem.Device) {
+	sa, sb := c.shardOf(a), c.shardOf(b)
+	if sa == sb {
+		return c.shards[sa].Net.Connect(a, b, cfg)
+	}
+	if cfg.Delay <= 0 {
+		panic(fmt.Sprintf("shard: cut link %s<->%s needs positive propagation delay (the conservative lookahead is the minimum cut-link latency)", a.Name, b.Name))
+	}
+	ab := &cutLink{src: c.shards[sa], dst: c.shards[sb], delay: cfg.Delay}
+	ba := &cutLink{src: c.shards[sb], dst: c.shards[sa], delay: cfg.Delay}
+	da := c.shards[sa].Net.ConnectHalf(a, b.Name, cfg, ab)
+	db := c.shards[sb].Net.ConnectHalf(b, a.Name, cfg, ba)
+	ab.dstDev, ba.dstDev = db, da
+	c.links = append(c.links, ab, ba)
+	c.shards[sb].inbound = append(c.shards[sb].inbound, ab)
+	c.shards[sa].inbound = append(c.shards[sa].inbound, ba)
+	return da, db
+}
+
+var _ netem.Fabric = (*Cluster)(nil)
+
+func (c *Cluster) shardOf(n *netem.Node) int {
+	for i, s := range c.shards {
+		if s.Net == n.Network() {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("shard: node %s does not belong to this cluster", n.Name))
+}
+
+// Lookahead returns the conservative window width: the minimum
+// propagation delay over all cut links (MaxTime when nothing is cut).
+func (c *Cluster) Lookahead() sim.Time {
+	w := sim.MaxTime
+	for _, l := range c.links {
+		if l.delay < w {
+			w = l.delay
+		}
+	}
+	return w
+}
+
+// Processed sums dispatched events across all shard engines — comparable
+// with a single engine's Processed counter for the same scenario.
+func (c *Cluster) Processed() uint64 {
+	var n uint64
+	for _, s := range c.shards {
+		n += s.Engine.Processed
+	}
+	return n
+}
+
+// Run advances every shard to `until` in barrier-synchronised windows of
+// the cluster lookahead. With no cut links (one shard, or a topology that
+// never crossed partitions) it degenerates to plain sequential Run calls.
+// A panic on any shard is re-raised on the caller's goroutine after the
+// in-flight window joins, so the fleet orchestrator's per-job recovery
+// still contains it.
+func (c *Cluster) Run(until sim.Time) {
+	if len(c.links) == 0 {
+		for _, s := range c.shards {
+			s.Engine.RunUntil(until)
+		}
+		return
+	}
+	w := c.Lookahead()
+	done := make(chan any, len(c.shards))
+	cmds := make([]chan sim.Time, len(c.shards))
+	for i, s := range c.shards {
+		ch := make(chan sim.Time)
+		cmds[i] = ch
+		go func(s *Shard, cmds <-chan sim.Time) {
+			for h := range cmds {
+				done <- s.step(h)
+			}
+		}(s, ch)
+	}
+	defer func() {
+		for _, ch := range cmds {
+			close(ch)
+		}
+	}()
+	// The window schedule is a pure function of (lookahead, until), so it
+	// is identical across runs of the same configuration.
+	next := sim.Time(0)
+	for {
+		if until-next <= w {
+			next = until
+		} else {
+			next += w
+		}
+		for _, ch := range cmds {
+			ch <- next
+		}
+		var failure any
+		for range c.shards {
+			if r := <-done; r != nil && failure == nil {
+				failure = r
+			}
+		}
+		if failure != nil {
+			panic(failure)
+		}
+		if next >= until {
+			return
+		}
+	}
+}
+
+// step is one shard's window: drain and inject the arrivals other shards
+// handed off, then dispatch local events up to the horizon. Runs on the
+// shard's worker goroutine; a panic is returned, not propagated, so the
+// barrier always completes.
+func (s *Shard) step(h sim.Time) (failure any) {
+	defer func() { failure = recover() }()
+	s.drainInbound()
+	s.Engine.RunUntil(h)
+	return nil
+}
+
+// pendingArrival is one drained handoff record plus the inbound-slot
+// ordinal used as the deterministic tie-break for same-instant arrivals
+// from different links.
+type pendingArrival struct {
+	rec  record
+	link int
+}
+
+// drainInbound empties every inbound queue and injects the packets as
+// arrival events, ordered by (arrival time, inbound link, per-link FIFO).
+// The sort only matters for exact same-nanosecond ties — everything else
+// is ordered by the engine's time comparison — and makes that order a
+// deterministic function of the topology rather than of scheduling.
+func (s *Shard) drainInbound() {
+	s.pending = s.pending[:0]
+	for li, l := range s.inbound {
+		li := li
+		l.q.drain(func(r *record) {
+			s.pending = append(s.pending, pendingArrival{rec: *r, link: li})
+		})
+	}
+	sort.SliceStable(s.pending, func(i, j int) bool {
+		a, b := &s.pending[i], &s.pending[j]
+		if a.rec.arrival != b.rec.arrival {
+			return a.rec.arrival < b.rec.arrival
+		}
+		return a.link < b.link
+	})
+	for i := range s.pending {
+		e := &s.pending[i]
+		p := s.Net.Pool().Get()
+		e.rec.restore(p)
+		s.inbound[e.link].dstDev.InjectArrivalAt(e.rec.arrival, p)
+	}
+}
+
+// cutLink is one direction of a severed inter-shard link: the source
+// half-device's Handoff target and the queue the destination drains at
+// barriers.
+type cutLink struct {
+	src, dst *Shard
+	dstDev   *netem.Device
+	delay    sim.Time
+	q        spsc
+}
+
+// Handoff runs on the source shard's goroutine at transmit completion:
+// copy the packet into a pool-free record, release the source packet, and
+// queue the record for the destination's next barrier drain.
+func (l *cutLink) Handoff(p *packet.Packet, arrival sim.Time) {
+	var r record
+	r.capture(p, arrival)
+	l.src.Net.Pool().Put(p)
+	l.q.push(&r)
+}

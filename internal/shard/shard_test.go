@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cebinae/internal/netem"
+	"cebinae/internal/packet"
+	"cebinae/internal/qdisc"
+	"cebinae/internal/sim"
+)
+
+// TestSPSCFIFOAndOverflow pushes well past the ring capacity and checks
+// that drain returns every record in push order — the overflow spill must
+// not reorder relative to the ring — and that the queue is empty and
+// reusable afterwards.
+func TestSPSCFIFOAndOverflow(t *testing.T) {
+	var q spsc
+	const n = ringSize*3 + 17
+	for i := 0; i < n; i++ {
+		var r record
+		r.arrival = sim.Time(i)
+		q.push(&r)
+	}
+	var got []sim.Time
+	q.drain(func(r *record) { got = append(got, r.arrival) })
+	if len(got) != n {
+		t.Fatalf("drained %d records, pushed %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != sim.Time(i) {
+			t.Fatalf("record %d has arrival %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+	q.drain(func(r *record) { t.Fatalf("drain of empty queue yielded arrival %d", r.arrival) })
+
+	// Wraparound: the ring indices are now past ringSize; a second batch
+	// must still come out in order.
+	for i := 0; i < 5; i++ {
+		var r record
+		r.arrival = sim.Time(100 + i)
+		q.push(&r)
+	}
+	got = got[:0]
+	q.drain(func(r *record) { got = append(got, r.arrival) })
+	if len(got) != 5 || got[0] != 100 || got[4] != 104 {
+		t.Fatalf("post-drain reuse broken: %v", got)
+	}
+}
+
+// TestSPSCBarrierHandoff drives the queue under its real concurrency
+// contract — producer pushes during a window, consumer drains only after
+// a happens-before edge (a channel send standing in for the barrier) —
+// across enough rounds to exercise ring wraparound and overflow spill.
+// `make race` runs this under the race detector.
+func TestSPSCBarrierHandoff(t *testing.T) {
+	var q spsc
+	rounds := []int{1, ringSize - 1, ringSize, ringSize + 7, 3, ringSize * 2}
+	barrier := make(chan int)
+	ack := make(chan struct{})
+	go func() {
+		next := sim.Time(0)
+		for _, n := range rounds {
+			for i := 0; i < n; i++ {
+				var r record
+				r.arrival = next
+				next++
+				q.push(&r)
+			}
+			// The two channel operations are the barrier: the producer stays
+			// quiescent until the consumer's drain has completed, exactly as
+			// shard workers do between windows.
+			barrier <- n
+			<-ack
+		}
+		close(barrier)
+	}()
+	want := sim.Time(0)
+	for n := range barrier {
+		count := 0
+		q.drain(func(r *record) {
+			if r.arrival != want {
+				t.Fatalf("arrival %d, want %d", r.arrival, want)
+			}
+			want++
+			count++
+		})
+		if count != n {
+			t.Fatalf("round drained %d records, want %d", count, n)
+		}
+		ack <- struct{}{}
+	}
+}
+
+// TestRecordCaptureRestoreSACK round-trips a packet with SACK blocks
+// through a handoff record: the destination packet must carry equal
+// blocks without sharing the source's backing array, and oversized SACK
+// lists must survive via the overflow path.
+func TestRecordCaptureRestoreSACK(t *testing.T) {
+	for _, nblocks := range []int{0, 3, 5} {
+		src := &packet.Packet{Size: 1500, PayloadSize: 1448}
+		for i := 0; i < nblocks; i++ {
+			src.SACK = append(src.SACK, packet.SackBlock{Start: int64(10 * i), End: int64(10*i + 5)})
+		}
+		var r record
+		r.capture(src, 42)
+		srcBlocks := src.SACK
+		for i := range srcBlocks {
+			srcBlocks[i] = packet.SackBlock{} // scribble: the record must not alias
+		}
+		dst := &packet.Packet{SACK: make([]packet.SackBlock, 0, 4)}
+		r.restore(dst)
+		if r.arrival != 42 || dst.Size != 1500 || dst.PayloadSize != 1448 {
+			t.Fatalf("nblocks=%d: restored packet %+v, arrival %d", nblocks, dst, r.arrival)
+		}
+		if len(dst.SACK) != nblocks {
+			t.Fatalf("nblocks=%d: restored %d SACK blocks", nblocks, len(dst.SACK))
+		}
+		for i, b := range dst.SACK {
+			if b.Start != int64(10 * i) || b.End != int64(10*i + 5) {
+				t.Fatalf("nblocks=%d: block %d = %+v after source scribble", nblocks, i, b)
+			}
+		}
+	}
+}
+
+// countEndpoint records delivery times as observed by the destination
+// engine's clock.
+type countEndpoint struct {
+	eng   *sim.Engine
+	times []sim.Time
+}
+
+func (e *countEndpoint) Deliver(p *packet.Packet) { e.times = append(e.times, e.eng.Now()) }
+
+// crossTopo is one a→b hop built either on a plain Network (fabric with
+// one shard) or a 2-shard cluster (the link becomes a cut link).
+func crossTopo(f netem.Fabric) (a *netem.Node, sink *countEndpoint) {
+	a = f.NodeOn(0, "a")
+	b := f.NodeOn(f.Shards()-1, "b")
+	da, db := f.Connect(a, b, netem.LinkConfig{RateBps: 1e9, Delay: sim.Time(1e6)})
+	da.SetQdisc(qdisc.NewFIFO(1 << 20))
+	db.SetQdisc(qdisc.NewFIFO(1 << 20))
+	a.AddRoute(b.ID, da)
+	sink = &countEndpoint{eng: b.Engine()}
+	b.Register(packet.FlowKey{Src: a.ID, Dst: b.ID, SrcPort: 1, DstPort: 2, Proto: packet.ProtoTCP}, sink)
+	return a, sink
+}
+
+func injectAt(a *netem.Node, at sim.Time) {
+	a.Engine().Schedule(at, func() {
+		p := a.AllocPacket()
+		p.Flow = packet.FlowKey{Src: a.ID, Dst: a.ID + 1, SrcPort: 1, DstPort: 2, Proto: packet.ProtoTCP}
+		p.Size = 1500
+		p.PayloadSize = 1448
+		a.Inject(p)
+	})
+}
+
+// TestCrossShardDeliveryMatchesSingleEngine sends packets across a cut
+// link at times straddling several 1 ms windows and requires the
+// destination to observe exactly the delivery instants and event count of
+// the identical single-network run.
+func TestCrossShardDeliveryMatchesSingleEngine(t *testing.T) {
+	sends := []sim.Time{0, 5e5, 17e5, 32e5, 32e5 + 1}
+	until := sim.Time(1e7)
+
+	eng := sim.NewEngine()
+	w := netem.NewNetwork(eng)
+	refA, refSink := crossTopo(w)
+	for _, at := range sends {
+		injectAt(refA, at)
+	}
+	eng.RunUntil(until)
+
+	cl := NewCluster(2)
+	a, sink := crossTopo(cl)
+	for _, at := range sends {
+		injectAt(a, at)
+	}
+	cl.Run(until)
+
+	if len(sink.times) != len(sends) {
+		t.Fatalf("cluster delivered %d packets, want %d", len(sink.times), len(sends))
+	}
+	for i := range refSink.times {
+		if sink.times[i] != refSink.times[i] {
+			t.Errorf("packet %d delivered at %d, single-engine at %d", i, sink.times[i], refSink.times[i])
+		}
+	}
+	if cl.Processed() != eng.Processed {
+		t.Errorf("cluster processed %d events, single engine %d", cl.Processed(), eng.Processed)
+	}
+	for _, s := range cl.shards {
+		if now := s.Engine.Now(); now != until {
+			t.Errorf("shard settled at %d, want %d", now, until)
+		}
+	}
+}
+
+// TestLookahead pins the window width to the minimum cut-link delay, and
+// MaxTime when nothing is cut.
+func TestLookahead(t *testing.T) {
+	cl := NewCluster(3)
+	if w := cl.Lookahead(); w != sim.MaxTime {
+		t.Fatalf("empty cluster lookahead %d, want MaxTime", w)
+	}
+	a := cl.NodeOn(0, "a")
+	b := cl.NodeOn(1, "b")
+	c := cl.NodeOn(2, "c")
+	cl.Connect(a, b, netem.LinkConfig{RateBps: 1e9, Delay: sim.Time(5e6)})
+	cl.Connect(b, c, netem.LinkConfig{RateBps: 1e9, Delay: sim.Time(3e6)})
+	if w := cl.Lookahead(); w != sim.Time(3e6) {
+		t.Fatalf("lookahead %d, want 3e6 (minimum over cut links)", w)
+	}
+	// Same-shard links don't constrain the window.
+	d := cl.NodeOn(0, "d")
+	cl.Connect(a, d, netem.LinkConfig{RateBps: 1e9, Delay: 1})
+	if w := cl.Lookahead(); w != sim.Time(3e6) {
+		t.Fatalf("lookahead %d after local link, want 3e6", w)
+	}
+}
+
+// TestZeroDelayCutPanics: a zero-delay cut link would collapse the
+// conservative window to nothing, so Connect must refuse it loudly.
+func TestZeroDelayCutPanics(t *testing.T) {
+	cl := NewCluster(2)
+	a := cl.NodeOn(0, "a")
+	b := cl.NodeOn(1, "b")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("zero-delay cut link accepted")
+		}
+		if !strings.Contains(fmt.Sprint(r), "positive propagation delay") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	cl.Connect(a, b, netem.LinkConfig{RateBps: 1e9})
+}
+
+// TestWorkerPanicReraisedOnCaller: a panic inside a shard's window must
+// surface on the goroutine that called Run — that is where the fleet
+// orchestrator's per-job recovery lives — after the barrier joins.
+func TestWorkerPanicReraisedOnCaller(t *testing.T) {
+	cl := NewCluster(2)
+	a, _ := crossTopo(cl)
+	_ = a
+	cl.Shard(1).Engine.Schedule(sim.Time(25e5), func() { panic("boom") })
+	defer func() {
+		if r := recover(); fmt.Sprint(r) != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	cl.Run(sim.Time(1e7))
+	t.Fatal("Run returned despite shard panic")
+}
+
+// TestNodeOnClampsAndNumbersGlobally: shard hints outside the valid range
+// clamp instead of crashing a builder, and node IDs are one global
+// sequence in call order regardless of placement.
+func TestNodeOnClampsAndNumbersGlobally(t *testing.T) {
+	cl := NewCluster(2)
+	n1 := cl.NodeOn(-3, "n1")
+	n2 := cl.NodeOn(99, "n2")
+	n3 := cl.NodeOn(1, "n3")
+	if n1.Network() != cl.Shard(0).Net {
+		t.Error("negative shard hint not clamped to shard 0")
+	}
+	if n2.Network() != cl.Shard(1).Net {
+		t.Error("oversized shard hint not clamped to the last shard")
+	}
+	for i, n := range []*netem.Node{n1, n2, n3} {
+		if n.ID != packet.NodeID(i+1) {
+			t.Errorf("node %d has ID %d, want %d (global sequence)", i, n.ID, i+1)
+		}
+	}
+}

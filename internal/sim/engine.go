@@ -260,6 +260,16 @@ func (e *Engine) Run(until Time) Time {
 // RunAll dispatches every event until the queue drains or Stop is called.
 func (e *Engine) RunAll() Time { return e.Run(MaxTime) }
 
+// RunUntil is the windowed-stepping entry point used by conservative
+// parallel runners (internal/shard): it advances the clock to exactly t,
+// dispatching every event with at <= t, and may be called repeatedly with
+// increasing horizons. Between calls the engine is quiescent — events
+// injected from outside (cross-shard arrivals via AtCall) are merged into
+// the queue and dispatched in (time, seq) order exactly as if they had
+// been scheduled locally, which is what makes a sharded run reproduce the
+// single-engine event stream.
+func (e *Engine) RunUntil(t Time) Time { return e.Run(t) }
+
 // ---------------------------------------------------------------------------
 // Inlined 4-ary min-heap over (at, seq).
 //

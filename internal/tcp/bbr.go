@@ -46,9 +46,8 @@ type BBR struct {
 	// btlBw filter: windowed max over bbrBtlBwWindowRounds rounds.
 	bwFilter maxFilter
 	// rtProp: windowed min RTT.
-	rtProp        sim.Time
-	rtPropStamp   sim.Time
-	rtPropExpired bool
+	rtProp      sim.Time
+	rtPropStamp sim.Time
 
 	state      bbrState
 	pacingGain float64
@@ -113,18 +112,19 @@ func (b *BBR) update(c *Conn, rs RateSample) {
 		b.bwFilter.update(b.roundCount, rs.DeliveryRate, bbrBtlBwWindowRounds)
 	}
 
-	// Update the min-RTT estimate.
-	if rs.RTT > 0 && (b.rtProp == 0 || rs.RTT <= b.rtProp || now-b.rtPropStamp > bbrRTpropWindow) {
-		if rs.RTT <= b.rtProp || b.rtProp == 0 || now-b.rtPropStamp > bbrRTpropWindow {
-			b.rtProp = rs.RTT
-			b.rtPropStamp = now
-		}
+	// Update the min-RTT estimate. Expiry must be decided before the
+	// filter refreshes its stamp: a stale-but-refreshed filter is exactly
+	// the condition that sends BBR into PROBE_RTT.
+	rtPropExpired := b.rtProp > 0 && now-b.rtPropStamp > bbrRTpropWindow
+	if rs.RTT > 0 && (b.rtProp == 0 || rs.RTT <= b.rtProp || rtPropExpired) {
+		b.rtProp = rs.RTT
+		b.rtPropStamp = now
 	}
 
 	b.checkFullPipe(rs)
 	b.checkDrain(c, rs)
 	b.updateCycle(c, rs, now)
-	b.checkProbeRTT(c, rs, now)
+	b.checkProbeRTT(c, rs, now, rtPropExpired)
 	b.setCwnd(c, rs)
 }
 
@@ -191,8 +191,7 @@ func (b *BBR) updateCycle(c *Conn, rs RateSample, now sim.Time) {
 	}
 }
 
-func (b *BBR) checkProbeRTT(c *Conn, rs RateSample, now sim.Time) {
-	expired := b.rtProp > 0 && now-b.rtPropStamp > bbrRTpropWindow
+func (b *BBR) checkProbeRTT(c *Conn, rs RateSample, now sim.Time, expired bool) {
 	if b.state != bbrProbeRTT && expired {
 		b.state = bbrProbeRTT
 		b.pacingGain = 1
