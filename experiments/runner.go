@@ -10,6 +10,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"cebinae/internal/core"
 	"cebinae/internal/metrics"
@@ -109,9 +110,10 @@ type Scenario struct {
 
 // defaultShards is used when Scenario.Shards is zero. SetDefaultShards
 // lets the CLIs apply a -shards flag to every scenario they construct;
-// call it before launching runs (it is read without synchronisation by
-// fleet workers).
-var defaultShards = 1
+// it is atomic so fleet worker goroutines read it safely regardless of
+// when the caller sets it. The zero value means "unset" and resolves
+// to 1.
+var defaultShards atomic.Int64
 
 // SetDefaultShards sets the shard count scenarios use when their Shards
 // field is zero. Values below 1 select 1.
@@ -119,7 +121,7 @@ func SetDefaultShards(n int) {
 	if n < 1 {
 		n = 1
 	}
-	defaultShards = n
+	defaultShards.Store(int64(n))
 }
 
 // effectiveShards resolves a scenario's shard count against the package
@@ -127,7 +129,7 @@ func SetDefaultShards(n int) {
 func effectiveShards(configured, max int) int {
 	n := configured
 	if n <= 0 {
-		n = defaultShards
+		n = int(defaultShards.Load())
 	}
 	if n < 1 {
 		n = 1

@@ -1,8 +1,6 @@
 package shard
 
 import (
-	"sync/atomic"
-
 	"cebinae/internal/packet"
 	"cebinae/internal/sim"
 )
@@ -56,15 +54,16 @@ const ringSize = 512
 
 // spsc is a bounded single-producer single-consumer queue of handoff
 // records with an unbounded overflow. The producer is the source shard's
-// goroutine (during a window); the consumer is the destination shard's
-// goroutine (at the barrier before its next window, when the producer is
-// quiescent). head/tail are atomic so ring entries published mid-window
-// are visible without the barrier's happens-before edge; the overflow
-// slice is plain because it is only touched under that edge.
+// goroutine, which pushes only during run phases; the consumer is the
+// destination shard's goroutine, which drains only during drain phases.
+// Cluster.Run's barrier separates the two phases — every push
+// happens-before every subsequent drain via the worker channels — so no
+// field needs atomics; `make race` exercises the full path to keep that
+// honest.
 type spsc struct {
 	buf      [ringSize]record
-	head     atomic.Uint64 // next slot to consume
-	tail     atomic.Uint64 // next slot to produce
+	head     uint64 // next slot to consume
+	tail     uint64 // next slot to produce
 	overflow []record
 }
 
@@ -73,25 +72,25 @@ type spsc struct {
 // and stays full until the barrier drain, so every ring entry predates
 // every overflow entry.
 func (q *spsc) push(r *record) {
-	t := q.tail.Load()
-	if t-q.head.Load() < ringSize {
+	t := q.tail
+	if t-q.head < ringSize {
 		q.buf[t%ringSize] = *r
-		q.tail.Store(t + 1)
+		q.tail = t + 1
 		return
 	}
 	q.overflow = append(q.overflow, *r)
 }
 
 // drain moves every queued record out through fn in FIFO order (consumer
-// side, barrier only).
+// side, drain phases only).
 func (q *spsc) drain(fn func(*record)) {
-	h, t := q.head.Load(), q.tail.Load()
+	h, t := q.head, q.tail
 	for ; h < t; h++ {
 		r := &q.buf[h%ringSize]
 		fn(r)
 		*r = record{}
 	}
-	q.head.Store(h)
+	q.head = h
 	for i := range q.overflow {
 		fn(&q.overflow[i])
 		q.overflow[i] = record{}

@@ -7,14 +7,19 @@
 // and every link between shards becomes a cut link — a pair of
 // netem.ConnectHalf devices bridged by bounded SPSC handoff queues. The
 // cluster's lookahead W is the minimum propagation delay over all cut
-// links. Execution proceeds in windows of width W: every shard dispatches
-// its local events up to the window horizon, the cluster barriers, each
-// shard drains its inbound handoff queues (injecting cross-shard arrivals
-// in (time, link, FIFO) order), and the next window begins. A packet
-// whose transmission completes at time t inside a window arrives at
-// t+delay ≥ t+W, which is strictly beyond the window horizon — so every
-// cross-shard arrival is injected at a barrier before the window that
-// dispatches it, and no shard ever sees an event "from the past".
+// links. Execution proceeds in windows of width W, each split into two
+// barrier-separated phases: first every shard drains its inbound handoff
+// queues (injecting cross-shard arrivals in (time, link, FIFO) order),
+// the cluster barriers, then every shard dispatches its local events up
+// to the window horizon and the cluster barriers again. Draining never
+// pushes, so during a drain phase every producer is quiescent and the
+// barrier's happens-before edge makes the plain (atomics-free) handoff
+// queues safe — no push ever overlaps a drain. A packet whose
+// transmission completes at time t inside a window arrives at t+delay ≥
+// t+W, which is strictly beyond the window horizon — so every
+// cross-shard arrival is injected in the drain phase of a window before
+// the one that dispatches it, and no shard ever sees an event "from the
+// past".
 //
 // Byte-identical results. Node IDs are allocated from one cluster-global
 // counter in builder call order, so flow keys, RNG seeds, and connection
@@ -58,6 +63,9 @@ type Cluster struct {
 	shards []*Shard
 	links  []*cutLink
 	nodes  int
+	// horizon is the furthest time Run has advanced to; a later Run call
+	// resumes the window schedule from here instead of replaying it.
+	horizon sim.Time
 }
 
 // NewCluster returns a cluster of n empty shards (n >= 1). A 1-shard
@@ -153,28 +161,45 @@ func (c *Cluster) Processed() uint64 {
 	return n
 }
 
+// cmd is one phase issued to a shard worker: a drain phase (run == false,
+// empty the inbound handoff queues) or a run phase (run == true, dispatch
+// local events up to horizon h). The two phases never overlap across
+// shards — Cluster.Run barriers between them — which is what makes the
+// unsynchronised handoff queues safe.
+type cmd struct {
+	run bool
+	h   sim.Time
+}
+
 // Run advances every shard to `until` in barrier-synchronised windows of
-// the cluster lookahead. With no cut links (one shard, or a topology that
-// never crossed partitions) it degenerates to plain sequential Run calls.
-// A panic on any shard is re-raised on the caller's goroutine after the
-// in-flight window joins, so the fleet orchestrator's per-job recovery
-// still contains it.
+// the cluster lookahead, each window a drain phase then a run phase (see
+// the package doc). Calls with increasing horizons resume the window
+// schedule where the previous call left off; a horizon at or below the
+// previous one is a no-op — the cluster clock never moves backward. With
+// no cut links (one shard, or a topology that never crossed partitions)
+// it degenerates to plain sequential Run calls. A panic on any shard is
+// re-raised on the caller's goroutine after the in-flight phase joins,
+// so the fleet orchestrator's per-job recovery still contains it.
 func (c *Cluster) Run(until sim.Time) {
+	if until <= c.horizon {
+		return
+	}
 	if len(c.links) == 0 {
 		for _, s := range c.shards {
 			s.Engine.RunUntil(until)
 		}
+		c.horizon = until
 		return
 	}
 	w := c.Lookahead()
 	done := make(chan any, len(c.shards))
-	cmds := make([]chan sim.Time, len(c.shards))
+	cmds := make([]chan cmd, len(c.shards))
 	for i, s := range c.shards {
-		ch := make(chan sim.Time)
+		ch := make(chan cmd)
 		cmds[i] = ch
-		go func(s *Shard, cmds <-chan sim.Time) {
-			for h := range cmds {
-				done <- s.step(h)
+		go func(s *Shard, cmds <-chan cmd) {
+			for p := range cmds {
+				done <- s.step(p)
 			}
 		}(s, ch)
 	}
@@ -183,41 +208,56 @@ func (c *Cluster) Run(until sim.Time) {
 			close(ch)
 		}
 	}()
-	// The window schedule is a pure function of (lookahead, until), so it
-	// is identical across runs of the same configuration.
-	next := sim.Time(0)
+	// The window schedule is a pure function of (lookahead, horizon,
+	// until), so it is identical across runs of the same configuration.
+	next := c.horizon
 	for {
 		if until-next <= w {
 			next = until
 		} else {
 			next += w
 		}
-		for _, ch := range cmds {
-			ch <- next
-		}
-		var failure any
-		for range c.shards {
-			if r := <-done; r != nil && failure == nil {
-				failure = r
-			}
-		}
-		if failure != nil {
-			panic(failure)
-		}
+		// Drain phase: every producer is draining (never pushing), so the
+		// consumers' reads of the handoff queues cannot race. Arrivals
+		// handed off in the previous run phase land strictly beyond that
+		// window's horizon, so injecting them here is never "in the past".
+		c.phase(cmds, done, cmd{})
+		// Run phase: every shard dispatches up to the window horizon,
+		// pushing cross-shard handoffs for the next drain phase.
+		c.phase(cmds, done, cmd{run: true, h: next})
+		c.horizon = next
 		if next >= until {
 			return
 		}
 	}
 }
 
-// step is one shard's window: drain and inject the arrivals other shards
-// handed off, then dispatch local events up to the horizon. Runs on the
-// shard's worker goroutine; a panic is returned, not propagated, so the
-// barrier always completes.
-func (s *Shard) step(h sim.Time) (failure any) {
+// phase issues one command to every worker and joins the barrier,
+// re-raising the first shard failure on the caller's goroutine.
+func (c *Cluster) phase(cmds []chan cmd, done <-chan any, p cmd) {
+	for _, ch := range cmds {
+		ch <- p
+	}
+	var failure any
+	for range c.shards {
+		if r := <-done; r != nil && failure == nil {
+			failure = r
+		}
+	}
+	if failure != nil {
+		panic(failure)
+	}
+}
+
+// step executes one phase on the shard's worker goroutine; a panic is
+// returned, not propagated, so the barrier always completes.
+func (s *Shard) step(p cmd) (failure any) {
 	defer func() { failure = recover() }()
-	s.drainInbound()
-	s.Engine.RunUntil(h)
+	if p.run {
+		s.Engine.RunUntil(p.h)
+	} else {
+		s.drainInbound()
+	}
 	return nil
 }
 
@@ -258,8 +298,8 @@ func (s *Shard) drainInbound() {
 }
 
 // cutLink is one direction of a severed inter-shard link: the source
-// half-device's Handoff target and the queue the destination drains at
-// barriers.
+// half-device's Handoff target and the queue the destination drains in
+// drain phases.
 type cutLink struct {
 	src, dst *Shard
 	dstDev   *netem.Device
@@ -267,9 +307,10 @@ type cutLink struct {
 	q        spsc
 }
 
-// Handoff runs on the source shard's goroutine at transmit completion:
-// copy the packet into a pool-free record, release the source packet, and
-// queue the record for the destination's next barrier drain.
+// Handoff runs on the source shard's goroutine at transmit completion
+// (a run phase): copy the packet into a pool-free record, release the
+// source packet, and queue the record for the destination's next drain
+// phase.
 func (l *cutLink) Handoff(p *packet.Packet, arrival sim.Time) {
 	var r record
 	r.capture(p, arrival)

@@ -199,6 +199,102 @@ func TestCrossShardDeliveryMatchesSingleEngine(t *testing.T) {
 	}
 }
 
+// TestCrossShardOverflowWindowMatchesSingleEngine blasts several times
+// the handoff ring's capacity across a cut link inside a single
+// conservative window, forcing the overflow spill on the live concurrent
+// path (not just the unit-level queue test). Delivery instants, counts,
+// and the event total must still match the single-engine run exactly;
+// `make race` runs this under the race detector, which would flag any
+// push/drain overlap on the unsynchronised queue.
+func TestCrossShardOverflowWindowMatchesSingleEngine(t *testing.T) {
+	const n = ringSize*2 + 50
+	until := sim.Time(1e7)
+	// 100 Gbps serialises a 1500 B packet in 120 ns, so all n transmit
+	// completions (and handoffs) land inside the first 1 ms window.
+	build := func(f netem.Fabric) (*netem.Node, *countEndpoint) {
+		a := f.NodeOn(0, "a")
+		b := f.NodeOn(f.Shards()-1, "b")
+		da, db := f.Connect(a, b, netem.LinkConfig{RateBps: 1e11, Delay: sim.Time(1e6)})
+		da.SetQdisc(qdisc.NewFIFO(64 << 20))
+		db.SetQdisc(qdisc.NewFIFO(64 << 20))
+		a.AddRoute(b.ID, da)
+		sink := &countEndpoint{eng: b.Engine()}
+		b.Register(packet.FlowKey{Src: a.ID, Dst: b.ID, SrcPort: 1, DstPort: 2, Proto: packet.ProtoTCP}, sink)
+		return a, sink
+	}
+
+	eng := sim.NewEngine()
+	refA, refSink := build(netem.NewNetwork(eng))
+	for i := 0; i < n; i++ {
+		injectAt(refA, sim.Time(i))
+	}
+	eng.RunUntil(until)
+
+	cl := NewCluster(2)
+	a, sink := build(cl)
+	for i := 0; i < n; i++ {
+		injectAt(a, sim.Time(i))
+	}
+	cl.Run(until)
+
+	if len(refSink.times) != n {
+		t.Fatalf("single engine delivered %d packets, want %d", len(refSink.times), n)
+	}
+	if len(sink.times) != n {
+		t.Fatalf("cluster delivered %d packets, want %d (overflow lost or duplicated records)", len(sink.times), n)
+	}
+	for i := range refSink.times {
+		if sink.times[i] != refSink.times[i] {
+			t.Fatalf("packet %d delivered at %d, single-engine at %d", i, sink.times[i], refSink.times[i])
+		}
+	}
+	if cl.Processed() != eng.Processed {
+		t.Errorf("cluster processed %d events, single engine %d", cl.Processed(), eng.Processed)
+	}
+}
+
+// TestRunResumesAndNeverRewinds: a second Run call with a later horizon
+// continues the window schedule (matching one uninterrupted single-engine
+// run), and a stale horizon is a no-op rather than rewinding shard
+// clocks.
+func TestRunResumesAndNeverRewinds(t *testing.T) {
+	sends := []sim.Time{0, 5e5, 17e5, 32e5, 48e5 + 3}
+	mid, until := sim.Time(41e5), sim.Time(1e7)
+
+	eng := sim.NewEngine()
+	refA, refSink := crossTopo(netem.NewNetwork(eng))
+	for _, at := range sends {
+		injectAt(refA, at)
+	}
+	eng.RunUntil(until)
+
+	cl := NewCluster(2)
+	a, sink := crossTopo(cl)
+	for _, at := range sends {
+		injectAt(a, at)
+	}
+	cl.Run(mid)
+	cl.Run(until)
+	cl.Run(mid) // stale horizon: must not move anything backward
+	for i, s := range cl.shards {
+		if now := s.Engine.Now(); now != until {
+			t.Errorf("shard %d clock at %d after stale Run, want %d", i, now, until)
+		}
+	}
+
+	if len(sink.times) != len(sends) {
+		t.Fatalf("resumed cluster delivered %d packets, want %d", len(sink.times), len(sends))
+	}
+	for i := range refSink.times {
+		if sink.times[i] != refSink.times[i] {
+			t.Errorf("packet %d delivered at %d, single-engine at %d", i, sink.times[i], refSink.times[i])
+		}
+	}
+	if cl.Processed() != eng.Processed {
+		t.Errorf("resumed cluster processed %d events, single engine %d", cl.Processed(), eng.Processed)
+	}
+}
+
 // TestLookahead pins the window width to the minimum cut-link delay, and
 // MaxTime when nothing is cut.
 func TestLookahead(t *testing.T) {

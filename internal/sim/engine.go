@@ -221,8 +221,13 @@ func (e *Engine) Pending() int { return len(e.queue) }
 
 // Run dispatches events in time order until the queue empties, the clock
 // would pass `until`, or Stop is called. It returns the virtual time at
-// which it stopped. Events scheduled exactly at `until` do fire.
+// which it stopped. Events scheduled exactly at `until` do fire. A
+// horizon already in the past is a no-op: the clock never moves
+// backward.
 func (e *Engine) Run(until Time) Time {
+	if until < e.now {
+		return e.now
+	}
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
 		next := e.queue[0]
