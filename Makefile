@@ -1,13 +1,14 @@
 # Developer entry points. `make check` is the gate every change must pass:
-# it builds all packages, vets them, and runs the full test suite with the
-# race detector on (the fleet orchestrator and the parallel bench paths
-# are concurrent code).
+# it builds all packages, lints them (go vet + the cebinae-vet determinism
+# & ownership analyzers, see STATIC_ANALYSIS.md), and runs the full test
+# suite with the race detector on (the fleet orchestrator and the parallel
+# bench paths are concurrent code).
 
 GO ?= go
 
-.PHONY: check build vet test race cover bench bench-smoke benchjson report sweep clean
+.PHONY: check build vet lint test race race-shard cover bench bench-smoke benchjson report sweep clean
 
-check: build vet race
+check: build vet lint race
 
 build:
 	$(GO) build ./...
@@ -15,17 +16,37 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond go vet: the repo's own invariant analyzers
+# (detsource/mapiter/pktown/simtime — the determinism contract), plus
+# staticcheck when it is installed (it is not vendored: this build
+# environment is offline, so it stays an optional layer; CI installs it).
+lint:
+	$(GO) run ./cmd/cebinae-vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+	  staticcheck ./...; \
+	else \
+	  echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
+# The sharded-engine determinism gate under the race detector: the SPSC
+# handoff queues rely on barrier happens-before rather than atomics, so
+# these are the tests that catch a reintroduced data race. CI runs this
+# as its own cached job; `make race` still covers the whole tree.
+race-shard:
+	$(GO) test -race ./internal/shard
+	$(GO) test -race -run 'TestShardDifferential' ./experiments
+
 # Statement coverage over the library packages, gated at a ratcheted
 # minimum (raise COVER_MIN when coverage improves; never lower it). The
 # profile is left at coverage.out for `go tool cover -html` and the CI
 # artifact upload.
-COVER_MIN ?= 88.0
+COVER_MIN ?= 89.0
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./internal/...

@@ -1,0 +1,71 @@
+// Command cebinae-vet is the repository's determinism & ownership
+// multichecker. It loads the packages matching the given patterns
+// (default ./...) and applies the four invariant analyzers from
+// internal/analysis — detsource, mapiter, pktown, simtime — using the
+// policy table that decides which packages each one polices (the
+// simulation core for detsource; the whole module for the rest, with
+// internal/fleet's wall-clock exemption documented in the policy).
+//
+// Exit status is 1 if any diagnostic survives the //lint:ignore
+// directives, so `make lint` and the CI lint job fail closed. See
+// STATIC_ANALYSIS.md for the invariants and the annotation grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cebinae/internal/analysis"
+	"cebinae/internal/analysis/detsource"
+	"cebinae/internal/analysis/mapiter"
+	"cebinae/internal/analysis/pktown"
+	"cebinae/internal/analysis/simtime"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("cebinae-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("dir", ".", "directory to resolve package patterns from")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: cebinae-vet [-list] [-dir d] [packages]\n\n"+
+			"Runs the cebinae determinism & ownership analyzers over the given\n"+
+			"package patterns (default ./...). Exits 1 on findings.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	policies := analysis.Policies(detsource.Analyzer, mapiter.Analyzer, pktown.Analyzer, simtime.Analyzer)
+	if *list {
+		for _, p := range policies {
+			fmt.Fprintf(stdout, "%-10s %s\n", p.Analyzer.Name, p.Analyzer.Doc)
+		}
+		return 0
+	}
+
+	pkgs, err := analysis.Load(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, policies)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "cebinae-vet: %d finding(s); fix them or annotate with `//lint:ignore <analyzer> <reason>` (see STATIC_ANALYSIS.md)\n", len(diags))
+		return 1
+	}
+	return 0
+}

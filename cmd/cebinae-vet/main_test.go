@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestListAnalyzers checks the -list inventory: all four invariant
+// analyzers must be registered with the policy table.
+func TestListAnalyzers(t *testing.T) {
+	out := captureRun(t, []string{"-list"}, 0)
+	for _, name := range []string{"detsource", "mapiter", "pktown", "simtime"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestRepositoryCleanViaCLI runs the multichecker over the whole module
+// exactly as `make lint` does and expects a zero exit.
+func TestRepositoryCleanViaCLI(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := captureRun(t, []string{"-dir", root, "./..."}, 0)
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("expected no diagnostics, got:\n%s", out)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code := run([]string{"-definitely-not-a-flag"}, devNull(t), devNull(t)); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func captureRun(t *testing.T, args []string, wantCode int) string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if code := run(args, f, devNull(t)); code != wantCode {
+		t.Fatalf("run(%v) exit %d, want %d", args, code, wantCode)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}

@@ -287,6 +287,7 @@ func Run(s Scenario) Result {
 	cl.Run(s.Duration)
 
 	res := Result{Scenario: s, Events: cl.Processed(), StateSeries: states}
+	//lint:ignore simtime warmup is a fraction of a bounded scenario duration (minutes at most, « 2^53 ns); sub-nanosecond rounding of a measurement window is immaterial
 	warmup := sim.Time(float64(s.Duration) * s.WarmupFraction)
 	rates := make([]float64, len(flat))
 	for i, f := range flat {

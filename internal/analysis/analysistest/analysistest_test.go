@@ -1,0 +1,45 @@
+package analysistest_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"cebinae/internal/analysis"
+	"cebinae/internal/analysis/analysistest"
+)
+
+// selftest is a minimal analyzer — it flags every call to a function
+// literally named "bad" — used to exercise the fixture runner itself:
+// want-comment parsing, diagnostic matching, fixture import resolution
+// (both a sibling stub package and the standard library), and ignore
+// directives.
+var selftest = &analysis.Analyzer{
+	Name: "selftest",
+	Doc:  "flag calls to functions named bad (fixture-runner self-test)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					if fun.Name == "bad" {
+						pass.Reportf(call.Pos(), "call to bad")
+					}
+				case *ast.SelectorExpr:
+					if fun.Sel.Name == "bad" || fun.Sel.Name == "Bad" {
+						pass.Reportf(call.Pos(), "call to bad")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestFixtureRunner(t *testing.T) {
+	analysistest.Run(t, selftest, "selftest")
+}

@@ -1,0 +1,28 @@
+// Package selftest exercises the fixture runner: diagnostics with and
+// without want expectations, imports of the standard library and of a
+// sibling fixture package, and directive suppression.
+package selftest
+
+import (
+	"fmt"
+
+	"stub"
+)
+
+func bad() {}
+
+func callsBad() {
+	bad() // want `call to bad`
+}
+
+func callsStub() string {
+	stub.Bad() // want `call to bad`
+	return fmt.Sprintf("%d", stub.Value())
+}
+
+func suppressedCall() {
+	//lint:ignore selftest exercising directive suppression in the runner
+	bad()
+}
+
+func fine() { callsBad() }

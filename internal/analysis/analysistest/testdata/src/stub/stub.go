@@ -1,0 +1,7 @@
+// Package stub is imported by the selftest fixture to exercise
+// sibling-fixture import resolution in the runner's loader.
+package stub
+
+func Bad() {}
+
+func Value() int { return 42 }

@@ -1,0 +1,16 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"cebinae/internal/analysis/analysistest"
+	"cebinae/internal/analysis/detsource"
+)
+
+func TestDetSource(t *testing.T) {
+	analysistest.Run(t, detsource.Analyzer,
+		"detsource_bad",
+		"detsource_clean",
+		"detsource_ignored",
+	)
+}

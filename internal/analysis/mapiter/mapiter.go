@@ -1,0 +1,293 @@
+// Package mapiter flags `range` loops over maps whose bodies perform
+// order-sensitive work. Go randomises map iteration order per range
+// statement, so any of the following inside a map range is a
+// nondeterminism bug unless a total order is imposed elsewhere:
+//
+//   - scheduling simulator events (event sequence numbers embed arrival
+//     order, so two runs diverge even at equal timestamps);
+//   - writing output (reports, CSV, trace lines);
+//   - accumulating into an outer slice that is never deterministically
+//     sorted afterwards in the same function;
+//   - selecting a winner / folding into an outer scalar whose result can
+//     depend on visit order (the historical FQ-CoDel drop-victim bug:
+//     "pick the fattest flow" with ties broken by map order).
+//
+// The analyzer recognises the collect-then-sort idiom (append inside the
+// loop, sort.*/slices.* on the same slice after it) and does not flag it.
+// Loops whose selection is genuinely order-free because the comparison is
+// a total order must say so with a `//lint:ignore mapiter <reason>`
+// directive — the annotation is the reviewable artifact.
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cebinae/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc: "flag map-range loops that schedule events, write output, or accumulate/select " +
+		"order-sensitively without a deterministic sort",
+	Run: run,
+}
+
+// scheduleMethods are sim.Engine scheduling entry points whose call order
+// is observable (FIFO tie-breaking at equal timestamps). "At" is matched
+// only on receivers from package sim to avoid colliding with accessors.
+var scheduleMethods = map[string]bool{
+	"Schedule":      true,
+	"ScheduleStd":   true,
+	"ScheduleCall":  true,
+	"ScheduleOwned": true,
+	"AtCall":        true,
+	"RunUntil":      true,
+}
+
+// writerMethods are method names that emit output in call order.
+var writerMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+}
+
+var fmtPrinters = map[string]bool{
+	"Print": true, "Println": true, "Printf": true,
+	"Fprint": true, "Fprintln": true, "Fprintf": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// enclosing tracks the innermost function body so the
+		// collect-then-sort idiom can look downstream of the loop.
+		var funcBodies []*ast.BlockStmt
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					funcBodies = append(funcBodies, n.Body)
+					ast.Inspect(n.Body, visit)
+					funcBodies = funcBodies[:len(funcBodies)-1]
+				}
+				return false
+			case *ast.FuncLit:
+				funcBodies = append(funcBodies, n.Body)
+				ast.Inspect(n.Body, visit)
+				funcBodies = funcBodies[:len(funcBodies)-1]
+				return false
+			case *ast.RangeStmt:
+				if isMapRange(pass, n) && len(funcBodies) > 0 {
+					checkMapRange(pass, n, funcBodies[len(funcBodies)-1])
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, visit)
+	}
+	return nil
+}
+
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	loopVars := rangeVarObjects(pass, rs)
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, rs, n)
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, n, loopVars, funcBody)
+		}
+		return true
+	})
+}
+
+// rangeVarObjects returns the objects of the loop's key/value variables.
+func rangeVarObjects(pass *analysis.Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.ObjectOf(id); obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+func checkCall(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	// Package-level fmt printers.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.ObjectOf(id).(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" && fmtPrinters[name] {
+				pass.Reportf(rs.Pos(), "map range writes output via fmt.%s in iteration order; iterate a sorted copy of the keys", name)
+			}
+			return
+		}
+	}
+	if writerMethods[name] {
+		pass.Reportf(rs.Pos(), "map range writes output via %s in iteration order; iterate a sorted copy of the keys", name)
+		return
+	}
+	if scheduleMethods[name] || (name == "At" && receiverFromSim(pass, sel)) {
+		pass.Reportf(rs.Pos(), "map range schedules events via %s in iteration order; event sequence numbers will differ between runs", name)
+	}
+}
+
+// receiverFromSim reports whether sel's receiver type is declared in a
+// package named "sim" (the engine, whose At is a scheduling call).
+func receiverFromSim(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "sim"
+}
+
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt, loopVars map[types.Object]bool, funcBody *ast.BlockStmt) {
+	if as.Tok == token.DEFINE {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		obj := rootObject(pass, lhs)
+		if obj == nil || loopVars[obj] || !declaredOutside(obj, rs) {
+			continue
+		}
+		// Writes through an index expression (next[k] = v) are per-key
+		// independent; only scalar/slice targets are order hazards.
+		if _, ok := lhs.(*ast.IndexExpr); ok {
+			continue
+		}
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		} else {
+			rhs = as.Rhs[0]
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+			if !sortedAfter(pass, rs, funcBody, obj) {
+				pass.Reportf(rs.Pos(),
+					"map range accumulates into %s in iteration order without a deterministic sort afterwards", obj.Name())
+			}
+			continue
+		}
+		if as.Tok != token.ASSIGN {
+			// Op-assignments: integer accumulation is commutative and
+			// exact; float / string accumulation is order-sensitive.
+			if bt, ok := obj.Type().Underlying().(*types.Basic); ok && bt.Info()&types.IsInteger != 0 {
+				continue
+			}
+			pass.Reportf(rs.Pos(),
+				"map range folds into %s (%s) in iteration order; float/string accumulation is order-sensitive", obj.Name(), obj.Type())
+			continue
+		}
+		// Plain assignment: a selection whose result may depend on which
+		// entry was visited last (the FQ-CoDel drop-victim shape) — only
+		// when the assigned value derives from the loop variables.
+		if usesAny(pass, rhs, loopVars) {
+			pass.Reportf(rs.Pos(),
+				"map range selects into %s in iteration order; impose a total order (deterministic tie-break) and annotate, or sort the keys", obj.Name())
+		}
+	}
+}
+
+// rootObject resolves the base identifier of an assignable expression
+// (x, x.f.g → x). Index expressions return nil via the caller's filter.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return pass.ObjectOf(v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func usesAny(pass *analysis.Pass, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[pass.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter reports whether, somewhere after the range statement in the
+// enclosing function body, obj is passed to a sort.* or slices.* call
+// (including inside the comparison closure of sort.Slice) — the
+// collect-then-sort idiom that restores determinism.
+func sortedAfter(pass *analysis.Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || sorted {
+			return !sorted
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.ObjectOf(pkgID).(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesAny(pass, arg, map[types.Object]bool{obj: true}) {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}

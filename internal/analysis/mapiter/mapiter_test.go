@@ -1,0 +1,15 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"cebinae/internal/analysis/analysistest"
+	"cebinae/internal/analysis/mapiter"
+)
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, mapiter.Analyzer,
+		"mapiter_bad",
+		"mapiter_clean",
+	)
+}

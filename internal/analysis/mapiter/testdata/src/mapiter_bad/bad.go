@@ -1,0 +1,75 @@
+// Package mapiter_bad reproduces the order-sensitive map-iteration shapes
+// the analyzer must reject — including the historical FQ-CoDel
+// drop-victim bug (PR 1): pick-the-fattest-flow over a map range with
+// ties falling to whatever entry the runtime happened to visit last.
+package mapiter_bad
+
+import (
+	"fmt"
+	"io"
+
+	"sim"
+)
+
+type flowKey struct{ src, dst int }
+
+type fqFlow struct {
+	bytes   int
+	backlog int
+}
+
+// The PR-1 bug: equal backlogs are the common case with homogeneous
+// flows, and without a deterministic tie-break the victim — and therefore
+// the whole packet future — depends on map iteration order.
+func fattestFlow(flows map[flowKey]*fqFlow) *fqFlow {
+	var fat *fqFlow
+	for _, fl := range flows { // want `map range selects into fat in iteration order`
+		if fat == nil || fl.bytes > fat.bytes {
+			fat = fl
+		}
+	}
+	return fat
+}
+
+// Scheduling from a map range embeds the visit order in event sequence
+// numbers: two runs produce different tie-breaks at equal timestamps.
+func kickAll(eng *sim.Engine, waiters map[flowKey]func()) {
+	for _, w := range waiters { // want `map range schedules events via Schedule in iteration order`
+		eng.Schedule(sim.Time(1), w)
+	}
+}
+
+// At on a sim.Engine receiver is a scheduling call too ("At" alone is too
+// common a name, so the analyzer requires the sim receiver for it).
+func armAll(eng *sim.Engine, deadlines map[flowKey]sim.Time) {
+	for _, d := range deadlines { // want `map range schedules events via At in iteration order`
+		eng.At(d, func() {})
+	}
+}
+
+// Report lines written in map order differ between runs byte-for-byte.
+func dumpCounts(w io.Writer, counts map[flowKey]int) {
+	for k, n := range counts { // want `map range writes output via fmt\.Fprintf in iteration order`
+		fmt.Fprintf(w, "%v %d\n", k, n)
+	}
+}
+
+// Accumulating into an outer slice with no sort downstream leaves the
+// caller holding a randomly-ordered result.
+func keys(m map[flowKey]int) []flowKey {
+	var out []flowKey
+	for k := range m { // want `map range accumulates into out in iteration order without a deterministic sort`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Float accumulation is order-sensitive in the last ulp; summing rates in
+// map order makes reports flap across runs.
+func totalRate(rates map[flowKey]float64) float64 {
+	var total float64
+	for _, r := range rates { // want `map range folds into total \(float64\) in iteration order`
+		total += r
+	}
+	return total
+}

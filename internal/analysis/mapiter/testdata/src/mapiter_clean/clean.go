@@ -1,0 +1,69 @@
+// Package mapiter_clean holds the order-free map-iteration idioms the
+// analyzer must accept.
+package mapiter_clean
+
+import "sort"
+
+type flowKey struct{ src, dst int }
+
+type state struct {
+	rate  float64
+	bytes float64
+}
+
+// Collect-then-sort restores a total order before anyone observes it.
+func sortedKeys(m map[flowKey]int) []flowKey {
+	out := make([]flowKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].src != out[j].src {
+			return out[i].src < out[j].src
+		}
+		return out[i].dst < out[j].dst
+	})
+	return out
+}
+
+// Per-key writes into another map are independent of visit order.
+func rekey(rates map[flowKey]float64, old map[flowKey]*state) map[flowKey]*state {
+	next := make(map[flowKey]*state, len(rates))
+	for f, r := range rates {
+		if st, ok := old[f]; ok {
+			st.rate = r
+			next[f] = st
+		} else {
+			next[f] = &state{rate: r}
+		}
+	}
+	return next
+}
+
+// Mutating each entry through the value pointer is per-entry independent.
+func decay(states map[flowKey]*state, dt float64) {
+	for _, st := range states {
+		st.bytes -= st.rate * dt
+		if st.bytes < 0 {
+			st.bytes = 0
+		}
+	}
+}
+
+// Integer accumulation is commutative and exact: order cannot matter.
+func totalBytes(counts map[flowKey]int64) int64 {
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}
+
+// Deleting while ranging is sanctioned Go and per-key independent.
+func prune(counts map[flowKey]int64) {
+	for k, n := range counts {
+		if n == 0 {
+			delete(counts, k)
+		}
+	}
+}

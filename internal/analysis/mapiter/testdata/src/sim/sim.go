@@ -1,0 +1,16 @@
+// Package sim is a fixture stub of the engine's scheduling surface; the
+// analyzer matches scheduling calls by method name and receiver package
+// name, so this stub stands in for cebinae/internal/sim.
+package sim
+
+type Time int64
+
+type Handler interface{ OnEvent(arg any) }
+
+type Engine struct{ now Time }
+
+func (e *Engine) Now() Time                             { return e.now }
+func (e *Engine) Schedule(d Time, f func())             {}
+func (e *Engine) At(t Time, f func())                   {}
+func (e *Engine) ScheduleCall(d Time, h Handler, a any) {}
+func (e *Engine) RunUntil(t Time)                       {}

@@ -1,0 +1,306 @@
+// Package pktown checks the ownership protocol of pooled packets
+// (internal/packet.Pool): once a packet is released with Pool.Put it must
+// not be read again, and it must not be released twice. This is the
+// static complement of the runtime `packetdebug` double-free detector —
+// the runtime guard only fires on paths a test happens to execute, while
+// this analyzer inspects every path in the source.
+//
+// The analysis is intra-procedural and path-aware along statement lists:
+// a release inside an if/switch arm is merged as "may be released" after
+// the branch unless that arm terminates (return/break/continue/panic);
+// loop bodies are analysed twice so a release that survives to the next
+// iteration is caught; an assignment to the packet variable (p =
+// pool.Get(), p = nil) clears its released state. Releases inside
+// function literals are checked within the literal only.
+package pktown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cebinae/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "pktown",
+	Doc: "forbid use-after-release and double release of pooled packets " +
+		"(internal/packet.Pool ownership protocol)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, reported: make(map[token.Pos]bool)}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					c.walkStmts(n.Body.List, released{})
+				}
+				return false
+			case *ast.FuncLit:
+				// Top-level literals (package var initialisers); literals
+				// inside functions are handled by walkStmts.
+				c.walkStmts(n.Body.List, released{})
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// released maps a packet variable to the position where it was returned
+// to the pool on some path reaching the current statement.
+type released map[types.Object]token.Pos
+
+func (r released) clone() released {
+	out := make(released, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	reported map[token.Pos]bool // dedupe across the second loop pass
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+// walkStmts analyses one statement list, mutating st in place, and
+// reports whether the list always terminates abruptly (so a release made
+// inside it never reaches the code after the enclosing branch).
+func (c *checker) walkStmts(list []ast.Stmt, st released) bool {
+	for _, s := range list {
+		if c.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) walkStmt(s ast.Stmt, st released) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		c.checkExpr(s.X, st)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.checkExpr(rhs, st)
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				// Rebinding the variable transfers in fresh ownership.
+				delete(st, c.pass.ObjectOf(id))
+			} else {
+				// p.f = v or q[i] = v reads the base object.
+				c.checkExpr(lhs, st)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.checkExpr(e, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		c.checkExpr(s.Cond, st)
+		thenSt := st.clone()
+		thenExits := c.walkStmts(s.Body.List, thenSt)
+		elseSt := st.clone()
+		elseExits := false
+		if s.Else != nil {
+			elseExits = c.walkStmt(s.Else, elseSt)
+		}
+		merge(st, thenSt, thenExits)
+		merge(st, elseSt, elseExits)
+		return thenExits && elseExits && s.Else != nil
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, st)
+		}
+		c.loopBody(s.Body, s.Post, st)
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, st)
+		c.loopBody(s.Body, nil, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		c.walkBranches(s, st)
+	case *ast.DeferStmt:
+		c.checkExpr(s.Call, st)
+	case *ast.GoStmt:
+		c.checkExpr(s.Call, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.checkExpr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.checkExpr(s.X, st)
+	case *ast.SendStmt:
+		c.checkExpr(s.Chan, st)
+		c.checkExpr(s.Value, st)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, st)
+	}
+	return false
+}
+
+// loopBody analyses a loop body twice: the second pass starts from the
+// first pass's exit state, so `pool.Put(p)` with p live across
+// iterations is reported as a double release.
+func (c *checker) loopBody(body *ast.BlockStmt, post ast.Stmt, st released) {
+	first := st.clone()
+	c.walkStmts(body.List, first)
+	if post != nil {
+		c.walkStmt(post, first)
+	}
+	second := first.clone()
+	c.walkStmts(body.List, second)
+	if post != nil {
+		c.walkStmt(post, second)
+	}
+	merge(st, second, false)
+}
+
+// walkBranches handles switch/type-switch/select: every clause starts
+// from the pre-branch state; non-terminating clauses merge back.
+func (c *checker) walkBranches(s ast.Stmt, st released) {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	for _, cl := range body.List {
+		clSt := st.clone()
+		var exits bool
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.checkExpr(e, clSt)
+			}
+			exits = c.walkStmts(cl.Body, clSt)
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				c.walkStmt(cl.Comm, clSt)
+			}
+			exits = c.walkStmts(cl.Body, clSt)
+		}
+		merge(st, clSt, exits)
+	}
+}
+
+// merge folds branch releases into the fall-through state. Terminating
+// branches contribute nothing: their releases cannot reach the join.
+func merge(into, branch released, branchExits bool) {
+	if branchExits {
+		return
+	}
+	for k, v := range branch {
+		if _, ok := into[k]; !ok {
+			into[k] = v
+		}
+	}
+}
+
+// checkExpr reports reads of released packets within e, records releases,
+// and descends into function literals with a fresh state.
+func (c *checker) checkExpr(e ast.Expr, st released) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.walkStmts(n.Body.List, released{})
+			return false
+		case *ast.CallExpr:
+			if obj := c.releaseArg(n); obj != nil {
+				// Receiver and other arguments are still plain reads.
+				c.checkExpr(n.Fun, st)
+				if pos, ok := st[obj]; ok {
+					c.reportf(n.Pos(), "packet %q released twice (already released at %s)",
+						obj.Name(), c.pass.Fset.Position(pos))
+				}
+				st[obj] = n.Pos()
+				return false
+			}
+		case *ast.Ident:
+			obj := c.pass.ObjectOf(n)
+			if pos, ok := st[obj]; ok {
+				c.reportf(n.Pos(), "packet %q used after release to the pool (released at %s)",
+					n.Name, c.pass.Fset.Position(pos))
+			}
+		}
+		return true
+	})
+}
+
+// releaseArg returns the packet variable being released if call is
+// pool.Put(p) on an internal/packet.Pool (matched by type: a method named
+// Put whose receiver is type Pool in a package named "packet"), else nil.
+func (c *checker) releaseArg(call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 {
+		return nil
+	}
+	fn, ok := c.pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "Pool" || named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "packet" {
+		return nil
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := c.pass.ObjectOf(id)
+	if _, ok := obj.(*types.Var); !ok {
+		return nil
+	}
+	return obj
+}

@@ -1,0 +1,15 @@
+package pktown_test
+
+import (
+	"testing"
+
+	"cebinae/internal/analysis/analysistest"
+	"cebinae/internal/analysis/pktown"
+)
+
+func TestPktOwn(t *testing.T) {
+	analysistest.Run(t, pktown.Analyzer,
+		"pktown_bad",
+		"pktown_clean",
+	)
+}

@@ -1,0 +1,22 @@
+// Package packet is a fixture stub of the pooled-packet surface; the
+// analyzer matches Pool.Put by method name, receiver type name, and
+// package name, so this stub stands in for cebinae/internal/packet.
+package packet
+
+type Packet struct {
+	Size int64
+	SACK []int64
+}
+
+type Pool struct{ free []*Packet }
+
+func (pl *Pool) Get() *Packet {
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free = pl.free[:n-1]
+		return p
+	}
+	return &Packet{}
+}
+
+func (pl *Pool) Put(p *Packet) { pl.free = append(pl.free, p) }

@@ -1,0 +1,43 @@
+// Package pktown_bad reproduces the pooled-packet ownership bugs the
+// analyzer must reject — the same shapes the runtime packetdebug guard
+// (internal/packet/pool_debug.go) panics on, but caught on every path at
+// lint time instead of only on executed paths under -tags packetdebug.
+package pktown_bad
+
+import "packet"
+
+// The classic double free from the pool_debug comment: the packet is
+// released at two ownership hand-off points, a drop path and a delivery
+// path, because the drop branch forgets to stop the flow of control.
+func deliverOrDrop(pl *packet.Pool, p *packet.Packet, congested bool) {
+	if congested {
+		pl.Put(p) // drop path releases ...
+	}
+	pl.Put(p) // want `packet "p" released twice`
+}
+
+// Reading a field after release races with the packet's reuse: by the
+// time Size is read the pool may have handed p to another sender.
+func useAfterRelease(pl *packet.Pool, p *packet.Packet) int64 {
+	pl.Put(p)
+	return p.Size // want `packet "p" used after release`
+}
+
+// A release that survives to the next loop iteration is a double free
+// even though no single iteration releases twice.
+func loopCarried(pl *packet.Pool, p *packet.Packet, n int) {
+	for i := 0; i < n; i++ {
+		pl.Put(p) // want `packet "p" released twice`
+	}
+}
+
+// Merging across a branch: only one arm releases, but the join still must
+// not touch the packet.
+func branchMerge(pl *packet.Pool, p *packet.Packet, drop bool) int64 {
+	if drop {
+		pl.Put(p)
+	} else {
+		p.Size = 0
+	}
+	return p.Size // want `packet "p" used after release`
+}

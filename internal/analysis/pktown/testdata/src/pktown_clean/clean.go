@@ -1,0 +1,59 @@
+// Package pktown_clean holds the sanctioned ownership patterns: release
+// exactly once at the point the packet leaves the simulated network, with
+// control flow that provably cannot revisit it.
+package pktown_clean
+
+import "packet"
+
+// Release on the drop path, then leave: the terminating return keeps the
+// released state from reaching the delivery path.
+func deliverOrDrop(pl *packet.Pool, p *packet.Packet, congested bool) int64 {
+	if congested {
+		pl.Put(p)
+		return 0
+	}
+	return p.Size
+}
+
+// Reading before releasing is the normal delivery sequence.
+func deliver(pl *packet.Pool, p *packet.Packet) int64 {
+	size := p.Size
+	pl.Put(p)
+	return size
+}
+
+// Reassignment transfers in a fresh packet: the old released state must
+// not stick to the variable.
+func recycle(pl *packet.Pool, p *packet.Packet) int64 {
+	pl.Put(p)
+	p = pl.Get()
+	size := p.Size
+	pl.Put(p)
+	return size
+}
+
+// Per-iteration get/put pairs never carry a released packet across
+// iterations.
+func pump(pl *packet.Pool, n int) int64 {
+	var total int64
+	for i := 0; i < n; i++ {
+		p := pl.Get()
+		p.Size = int64(i)
+		total += p.Size
+		pl.Put(p)
+	}
+	return total
+}
+
+// A switch where every releasing arm terminates.
+func classify(pl *packet.Pool, p *packet.Packet, kind int) int64 {
+	switch kind {
+	case 0:
+		pl.Put(p)
+		return 0
+	case 1:
+		pl.Put(p)
+		return 1
+	}
+	return p.Size
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import "strings"
+
+// A Policy binds an analyzer to the set of packages it polices. The
+// selector sees full import paths ("cebinae/internal/sim").
+type Policy struct {
+	Analyzer *Analyzer
+	// Polices reports whether the package at path is checked.
+	Polices func(path string) bool
+}
+
+// The simulation core: every package whose code runs inside the simulated
+// world, where wall-clock time and ambient randomness must never leak.
+// internal/fleet is deliberately absent — it is the wall-clock side of the
+// system (progress/ETA display, per-job watchdog timeouts, worker
+// scheduling) and owns the real clock by design; determinism there is
+// guaranteed by sorting job results, which mapiter still polices.
+// internal/analysis (this tooling) and internal/benchkit (the benchmark
+// harness, which times real executions) are likewise host-side.
+var simulationPackages = []string{
+	"cebinae/internal/sim",
+	"cebinae/internal/netem",
+	"cebinae/internal/tcp",
+	"cebinae/internal/qdisc",
+	"cebinae/internal/shard",
+	"cebinae/internal/app",
+	"cebinae/internal/cmsketch",
+	"cebinae/internal/maxmin",
+	"cebinae/internal/packet",
+	"cebinae/internal/core",
+	"cebinae/internal/hhcache",
+	"cebinae/internal/trace",
+	"cebinae/internal/monitor",
+	"cebinae/internal/metrics",
+}
+
+func inSimulationCore(path string) bool {
+	for _, p := range simulationPackages {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleWide polices every package of this module, including cmd/ and
+// experiments/ — report and CSV emission live there, and output written in
+// map order is exactly the nondeterminism the fleet's byte-identity
+// promise forbids.
+func moduleWide(path string) bool {
+	return path == "cebinae" || strings.HasPrefix(path, "cebinae/")
+}
+
+// Policies returns the analyzer→package bindings cebinae-vet and the
+// repo-gate test enforce. The analyzers are passed in by the caller
+// (cmd/cebinae-vet) to keep this package free of import cycles with its
+// sub-packages.
+func Policies(detsource, mapiter, pktown, simtime *Analyzer) []Policy {
+	return []Policy{
+		// Wall-clock and ambient randomness are forbidden only inside the
+		// simulated world; cmd/ and experiments/ legitimately measure real
+		// elapsed time around whole runs.
+		{Analyzer: detsource, Polices: inSimulationCore},
+		// Map-iteration-order hazards are forbidden everywhere: the bug
+		// class corrupts reports and schedules alike.
+		{Analyzer: mapiter, Polices: moduleWide},
+		// Packet-pool ownership applies wherever pooled packets flow.
+		{Analyzer: pktown, Polices: moduleWide},
+		// sim.Time hygiene applies module-wide too; conversions at the
+		// experiment boundary (building a duration from a float rate) are
+		// allowed by the analyzer itself.
+		{Analyzer: simtime, Polices: moduleWide},
+	}
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+)
+
+// Run applies each analyzer to each package it polices (per the selector
+// in its Policy) and returns the surviving diagnostics, sorted by file
+// position. Ignore directives are honoured here — malformed directives
+// (missing reason) come back as diagnostics of the "lintdirective"
+// pseudo-analyzer so they fail the gate too.
+func Run(pkgs []*Package, policies []Policy) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		// Directive scan happens once per package, shared by analyzers.
+		var directives []*ignoreDirective
+		for _, f := range pkg.Files {
+			directives = append(directives, parseDirectives(pkg.Fset, f, func(pos token.Pos, msg string) {
+				all = append(all, Diagnostic{
+					Pos:      pkg.Fset.Position(pos),
+					Analyzer: "lintdirective",
+					Message:  msg,
+				})
+			})...)
+		}
+		for _, pol := range policies {
+			if !pol.Polices(pkg.Path) {
+				continue
+			}
+			var raw []Diagnostic
+			pass := &Pass{
+				Analyzer:  pol.Analyzer,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &raw,
+			}
+			if err := pol.Analyzer.Run(pass); err != nil {
+				return nil, err
+			}
+			for _, d := range raw {
+				if !suppressed(d, directives) {
+					all = append(all, d)
+				}
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}

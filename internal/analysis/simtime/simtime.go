@@ -1,0 +1,129 @@
+// Package simtime enforces nanosecond-time hygiene on sim.Time
+// arithmetic. sim.Time is an int64 nanosecond count; routing it through
+// float64 and back silently rounds once values exceed 2^53 ns (~104
+// days) and, worse, turns exact integer comparisons into last-ulp
+// lotteries in hot paths. The analyzer flags:
+//
+//   - round-trips: a conversion sim.Time(e) where the float expression e
+//     itself derives from a sim.Time (via float64(t)/float32(t) or
+//     t.Seconds()) — rewrite with integer arithmetic, or annotate with
+//     //lint:ignore simtime <why the magnitude is safe>;
+//   - truncations: converting a sim.Time to a narrower numeric type
+//     (int8/16/32, uint8/16/32, float32) that cannot hold a nanosecond
+//     timestamp.
+//
+// One-way boundary conversions (float64(t) for reporting, sim.Time(f)
+// where f is built from rates or scales with no Time inside) are allowed:
+// they are how durations legitimately enter and leave the float world.
+package simtime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cebinae/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "simtime",
+	Doc: "forbid float64 round-trips and narrowing truncation on sim.Time " +
+		"(nanosecond int64) arithmetic",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			target := tv.Type
+			arg := call.Args[0]
+			argType := pass.TypeOf(arg)
+			if argType == nil {
+				return true
+			}
+			if isSimTime(target) && isFloat(argType) && derivesFromSimTime(pass, arg) {
+				pass.Reportf(call.Pos(),
+					"sim.Time computed from a float derived from sim.Time (lossy round-trip); use integer arithmetic on the nanosecond values")
+			}
+			if isSimTime(argType) && isNarrow(target) {
+				pass.Reportf(call.Pos(),
+					"sim.Time truncated to %s; a nanosecond timestamp does not fit", target)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSimTime matches the named type Time declared in a package named
+// "sim" (the real engine package, or a fixture stub).
+func isSimTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isNarrow matches numeric types too small for an int64 nanosecond count.
+func isNarrow(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int8, types.Int16, types.Int32,
+		types.Uint8, types.Uint16, types.Uint32,
+		types.Float32:
+		return true
+	}
+	return false
+}
+
+// derivesFromSimTime reports whether e contains a conversion of a
+// sim.Time to a float, or a t.Seconds() call on a sim.Time — i.e. the
+// float being converted back carries time information.
+func derivesFromSimTime(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// float64(t) / float32(t) conversion of a sim.Time.
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			if isFloat(tv.Type) && typeIsSimTime(pass, call.Args[0]) {
+				found = true
+				return false
+			}
+		}
+		// t.Seconds() on a sim.Time receiver.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Seconds" && typeIsSimTime(pass, sel.X) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func typeIsSimTime(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	return t != nil && isSimTime(t)
+}

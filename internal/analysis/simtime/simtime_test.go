@@ -1,0 +1,15 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"cebinae/internal/analysis/analysistest"
+	"cebinae/internal/analysis/simtime"
+)
+
+func TestSimTime(t *testing.T) {
+	analysistest.Run(t, simtime.Analyzer,
+		"simtime_bad",
+		"simtime_clean",
+	)
+}

@@ -1,0 +1,8 @@
+// Package sim is a fixture stub of the virtual-clock type; the analyzer
+// matches the named type Time in a package named "sim", so this stands in
+// for cebinae/internal/sim.
+package sim
+
+type Time int64
+
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }

@@ -1,0 +1,32 @@
+// Package simtime_bad reproduces the lossy sim.Time arithmetic the
+// analyzer must reject: nanosecond counts routed through float64 and
+// back, and truncations into types that cannot hold a timestamp.
+package simtime_bad
+
+import "sim"
+
+// Halving a timestamp through float64 silently rounds above 2^53 ns and
+// is never necessary: integer division is exact.
+func halfway(t sim.Time) sim.Time {
+	return sim.Time(float64(t) * 0.5) // want `sim\.Time computed from a float derived from sim\.Time`
+}
+
+// Scaling an interval via Seconds() and back is the same round-trip in
+// disguise.
+func scaled(interval sim.Time, factor float64) sim.Time {
+	return sim.Time(interval.Seconds() * factor * 1e9) // want `sim\.Time computed from a float derived from sim\.Time`
+}
+
+// A jitter window derived from a Time-typed config field round-trips too.
+func jitter(window sim.Time, u float64) sim.Time {
+	return sim.Time(u * float64(window)) // want `sim\.Time computed from a float derived from sim\.Time`
+}
+
+// int32 holds ~2.1 s of nanoseconds; any longer simulation overflows.
+func truncate(t sim.Time) int32 {
+	return int32(t) // want `sim\.Time truncated to int32`
+}
+
+func toFloat32(t sim.Time) float32 {
+	return float32(t) // want `sim\.Time truncated to float32`
+}

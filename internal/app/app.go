@@ -99,6 +99,7 @@ func NewOnOff(eng *sim.Engine, node *netem.Node, key packet.FlowKey, rateBps flo
 }
 
 func (o *OnOff) expDur(mean sim.Time) sim.Time {
+	//lint:ignore simtime exponential sampling is inherently float; mean on/off periods are seconds at most (~1e9 ns « 2^53), so the round-trip is exact
 	return sim.Time(o.rng.ExpFloat64() * float64(mean))
 }
 

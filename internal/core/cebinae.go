@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"cebinae/internal/hhcache"
 	"cebinae/internal/packet"
@@ -123,12 +124,30 @@ func (q *Qdisc) Params() Params { return q.params }
 // Saturated reports the current phase.
 func (q *Qdisc) Saturated() bool { return q.saturated }
 
-// TopFlows returns a copy of the current bottlenecked (⊤) flow set.
+// TopFlows returns a copy of the current bottlenecked (⊤) flow set in
+// canonical 5-tuple order, so monitors and reports printing it emit
+// identical lines on every run.
 func (q *Qdisc) TopFlows() []packet.FlowKey {
 	out := make([]packet.FlowKey, 0, len(q.topSet))
 	for f := range q.topSet {
 		out = append(out, f)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.SrcPort != b.SrcPort {
+			return a.SrcPort < b.SrcPort
+		}
+		if a.DstPort != b.DstPort {
+			return a.DstPort < b.DstPort
+		}
+		return a.Proto < b.Proto
+	})
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 )
 
@@ -114,7 +115,9 @@ func (s *Store) Get(id string) (Result, bool) {
 	return r, ok
 }
 
-// Results returns all stored results (unordered).
+// Results returns all stored results, sorted by job ID so callers that
+// iterate or print them observe one order regardless of completion
+// interleaving or map iteration.
 func (s *Store) Results() []Result {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -122,6 +125,7 @@ func (s *Store) Results() []Result {
 	for _, r := range s.done {
 		out = append(out, r)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

@@ -10,6 +10,8 @@
 package hhcache
 
 import (
+	"sort"
+
 	"cebinae/internal/packet"
 )
 
@@ -101,8 +103,11 @@ func (c *Cache) Bytes(flow packet.FlowKey) int64 {
 	return total
 }
 
-// Poll returns every occupied entry (merging duplicate flows across stages)
-// and resets the cache — the control plane's serialisable poll-and-reset.
+// Poll returns every occupied entry (merging duplicate flows across
+// stages) and resets the cache — the control plane's serialisable
+// poll-and-reset. Entries come back in canonical flow-key order: the
+// control plane folds them into float arithmetic and report lines, and a
+// map-ordered slice would make those outputs depend on the run.
 func (c *Cache) Poll() []Entry {
 	byFlow := make(map[packet.FlowKey]int64)
 	occupied := 0
@@ -121,7 +126,25 @@ func (c *Cache) Poll() []Entry {
 	for f, b := range byFlow {
 		out = append(out, Entry{Flow: f, Bytes: b})
 	}
+	sort.Slice(out, func(i, j int) bool { return flowKeyLess(out[i].Flow, out[j].Flow) })
 	return out
+}
+
+// flowKeyLess is the canonical 5-tuple order used to serialise polls.
+func flowKeyLess(a, b packet.FlowKey) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Proto < b.Proto
 }
 
 // Reset clears all slots without reading them.

@@ -200,6 +200,7 @@ func (f *FQCoDel) FlowCount() int { return len(f.flows) }
 // case with homogeneous flows.
 func (f *FQCoDel) fattestFlow() *fqFlow {
 	var fat *fqFlow
+	//lint:ignore mapiter the comparison below is a total order — bytes descending with creation-seq tie-break — so the selected victim is independent of map iteration order (this is the PR-1 fix the analyzer guards)
 	for _, fl := range f.flows {
 		if fl.q.len() == 0 {
 			continue

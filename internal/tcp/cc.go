@@ -9,6 +9,8 @@
 package tcp
 
 import (
+	"sort"
+
 	"cebinae/internal/sim"
 )
 
@@ -92,11 +94,14 @@ func NewCC(name string) (CongestionControl, bool) {
 	return f(), true
 }
 
-// CCNames returns the registered algorithm names (unordered).
+// CCNames returns the registered algorithm names in sorted order, so
+// lists built from the registry (usage strings, sweep enumerations) are
+// identical across runs.
 func CCNames() []string {
 	names := make([]string, 0, len(ccRegistry))
 	for n := range ccRegistry {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return names
 }

@@ -371,6 +371,7 @@ func (c *Conn) transmit(seq int64, size int32, retx bool) {
 	}
 	if c.cfg.SendJitter > 0 {
 		// Order-preserving host-processing jitter (see Config.SendJitter).
+		//lint:ignore simtime jitter windows are microseconds-to-milliseconds, far below float64's 2^53 exact range, and the uniform draw is inherently a float
 		at := now + sim.Time(c.rng.Float64()*float64(c.cfg.SendJitter))
 		if at < c.lastInjectTime {
 			at = c.lastInjectTime
