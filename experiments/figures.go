@@ -164,7 +164,7 @@ func fig8(scale Scale, label string, groups []FlowGroup, buf int) Fig8Result {
 			Qdisc:         kind,
 			Seed:          7,
 		})
-		out.CDF[kind] = metrics.CDF(r.SortedGoodputs())
+		out.CDF[kind] = metrics.CDFSorted(r.SortedGoodputs())
 		out.JFI[kind] = r.JFI
 	}
 	return out

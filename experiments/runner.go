@@ -267,26 +267,27 @@ func Run(s Scenario) Result {
 		meters[i] = m
 	}
 
-	var states []byte
+	var sampler *stateSampler
 	if s.SampleInterval > 0 && cq != nil {
 		// The sampler lives on the bottleneck's shard: it reads the
-		// qdisc's state, so it must run on the engine that owns it.
+		// qdisc's state, so it must run on the engine that owns it. The
+		// state buffer is pre-sized from the run length so appends never
+		// reallocate.
 		beng := d.Bottleneck.Node().Engine()
-		var sample func()
-		sample = func() {
-			if cq.Saturated() {
-				states = append(states, 'S')
-			} else {
-				states = append(states, 'u')
-			}
-			beng.Schedule(s.SampleInterval, sample)
+		n := int((s.Duration + s.SampleInterval - 1) / s.SampleInterval)
+		sampler = &stateSampler{
+			eng: beng, cq: cq, interval: s.SampleInterval,
+			states: make([]byte, 0, n),
 		}
-		beng.Schedule(s.SampleInterval, sample)
+		beng.ArmTimer(&sampler.timer, s.SampleInterval, sampler, nil)
 	}
 
 	cl.Run(s.Duration)
 
-	res := Result{Scenario: s, Events: cl.Processed(), StateSeries: states}
+	res := Result{Scenario: s, Events: cl.Processed()}
+	if sampler != nil {
+		res.StateSeries = sampler.states
+	}
 	//lint:ignore simtime warmup is a fraction of a bounded scenario duration (minutes at most, « 2^53 ns); sub-nanosecond rounding of a measurement window is immaterial
 	warmup := sim.Time(float64(s.Duration) * s.WarmupFraction)
 	rates := make([]float64, len(flat))
@@ -311,8 +312,10 @@ func Run(s Scenario) Result {
 	}
 	if s.SampleInterval > 0 {
 		n := int((s.Duration + s.SampleInterval - 1) / s.SampleInterval)
+		res.JFISeries = make([]float64, 0, n)
+		active := make([]float64, 0, len(flat))
 		for k := 0; k < n; k++ {
-			var active []float64
+			active = active[:0]
 			t0 := sim.Time(k) * s.SampleInterval
 			for i, f := range flat {
 				if f.StartAt <= t0 {
@@ -323,6 +326,25 @@ func Run(s Scenario) Result {
 		}
 	}
 	return res
+}
+
+// stateSampler records the bottleneck qdisc's phase ('S'/'u') once per
+// sampling interval, rescheduling itself via an embedded timer.
+type stateSampler struct {
+	eng      *sim.Engine
+	cq       *core.Qdisc
+	interval sim.Time
+	timer    sim.Timer
+	states   []byte
+}
+
+func (sp *stateSampler) OnEvent(any) {
+	if sp.cq.Saturated() {
+		sp.states = append(sp.states, 'S')
+	} else {
+		sp.states = append(sp.states, 'u')
+	}
+	sp.eng.ArmTimer(&sp.timer, sp.interval, sp, nil)
 }
 
 // SortedGoodputs returns the flows' goodputs (bits/sec) ascending — CDF

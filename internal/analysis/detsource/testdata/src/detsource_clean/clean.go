@@ -23,6 +23,17 @@ func seeded(seed int64) float64 {
 	return rng.Float64()
 }
 
+// A timer deadline derived from the engine's virtual clock reads no wall
+// time: the RTO idiom of the sim's Timer surface (arm relative to Now,
+// back off deterministically) is exactly the allowed shape.
+type timer struct{ deadline int64 }
+
+func (e *engine) armTimer(t *timer, d int64) { t.deadline = e.Now() + d }
+
+func rearmBackoff(e *engine, t *timer, rto int64, backoff uint) {
+	e.armTimer(t, rto<<backoff)
+}
+
 // Zipf over a seeded source is the sanctioned heavy-tail sampler.
 func zipf(seed int64) uint64 {
 	z := rand.NewZipf(rand.New(rand.NewSource(seed)), 1.1, 1, 1<<20)

@@ -43,6 +43,8 @@ var scheduleMethods = map[string]bool{
 	"ScheduleCall":  true,
 	"ScheduleOwned": true,
 	"AtCall":        true,
+	"ArmTimer":      true,
+	"ArmTimerAt":    true,
 	"RunUntil":      true,
 }
 

@@ -47,6 +47,15 @@ func armAll(eng *sim.Engine, deadlines map[flowKey]sim.Time) {
 	}
 }
 
+// Arming timers from a map range is scheduling too: each ArmTimer
+// consumes a sequence number, so visit order leaks into equal-instant
+// tie-breaking exactly as Schedule's does.
+func armTimers(eng *sim.Engine, timers map[flowKey]*sim.Timer, h sim.Handler) {
+	for _, t := range timers { // want `map range schedules events via ArmTimer in iteration order`
+		eng.ArmTimer(t, sim.Time(1), h, nil)
+	}
+}
+
 // Report lines written in map order differ between runs byte-for-byte.
 func dumpCounts(w io.Writer, counts map[flowKey]int) {
 	for k, n := range counts { // want `map range writes output via fmt\.Fprintf in iteration order`

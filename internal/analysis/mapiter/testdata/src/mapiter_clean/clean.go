@@ -2,7 +2,11 @@
 // analyzer must accept.
 package mapiter_clean
 
-import "sort"
+import (
+	"sort"
+
+	"sim"
+)
 
 type flowKey struct{ src, dst int }
 
@@ -57,6 +61,15 @@ func totalBytes(counts map[flowKey]int64) int64 {
 		total += n
 	}
 	return total
+}
+
+// Stopping timers in a map range is fine: StopTimer consumes no sequence
+// number (unlike ArmTimer), so visit order leaves no trace in the event
+// stream.
+func stopAll(eng *sim.Engine, timers map[flowKey]*sim.Timer) {
+	for _, t := range timers {
+		eng.StopTimer(t)
+	}
 }
 
 // Deleting while ranging is sanctioned Go and per-key independent.

@@ -14,3 +14,9 @@ func (e *Engine) Schedule(d Time, f func())             {}
 func (e *Engine) At(t Time, f func())                   {}
 func (e *Engine) ScheduleCall(d Time, h Handler, a any) {}
 func (e *Engine) RunUntil(t Time)                       {}
+
+type Timer struct{ armed bool }
+
+func (e *Engine) ArmTimer(t *Timer, d Time, h Handler, a any)    {}
+func (e *Engine) ArmTimerAt(t *Timer, at Time, h Handler, a any) {}
+func (e *Engine) StopTimer(t *Timer) bool                        { return t.armed }

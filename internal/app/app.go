@@ -29,15 +29,19 @@ type CBR struct {
 
 	Sent    uint64
 	stopped bool
-	event   *sim.Event
-	tickFn  func() // bound once; per-packet rescheduling allocates no closure
+	timer   sim.Timer
 }
+
+// cbrTick is the CBR emission-timer handler (named pointer type over CBR:
+// no closure, no allocation per packet).
+type cbrTick CBR
+
+func (h *cbrTick) OnEvent(any) { (*CBR)(h).tick() }
 
 // NewCBR creates and starts the source at startAt.
 func NewCBR(eng *sim.Engine, node *netem.Node, key packet.FlowKey, rateBps float64, startAt sim.Time) *CBR {
 	c := &CBR{eng: eng, node: node, key: key, RateBps: rateBps, PacketBytes: 1500}
-	c.tickFn = c.tick
-	eng.At(startAt, c.tickFn)
+	eng.ArmTimerAt(&c.timer, startAt, (*cbrTick)(c), nil)
 	return c
 }
 
@@ -56,13 +60,13 @@ func (c *CBR) tick() {
 	c.node.Inject(p)
 	c.Sent++
 	gap := sim.Time(float64(c.PacketBytes*8) / c.RateBps * 1e9)
-	c.event = c.eng.Schedule(gap, c.tickFn)
+	c.eng.ArmTimer(&c.timer, gap, (*cbrTick)(c), nil)
 }
 
 // Stop halts emission.
 func (c *CBR) Stop() {
 	c.stopped = true
-	c.eng.Cancel(c.event)
+	c.eng.StopTimer(&c.timer)
 }
 
 // OnOff is a two-state bursty source: during ON periods it emits at
@@ -77,12 +81,22 @@ type OnOff struct {
 	MeanOn      sim.Time
 	MeanOff     sim.Time
 
-	rng     *sim.Rand
-	on      bool
-	stopped bool
-	Sent    uint64
-	emitFn  func() // bound once; per-packet rescheduling allocates no closure
+	rng        *sim.Rand
+	on         bool
+	stopped    bool
+	Sent       uint64
+	stateTimer sim.Timer // ON/OFF period transitions
+	emitTimer  sim.Timer // per-packet emission during ON periods
 }
+
+// onOffSwitch / onOffEmit are the source's two timer handlers.
+type (
+	onOffSwitch OnOff
+	onOffEmit   OnOff
+)
+
+func (h *onOffSwitch) OnEvent(any) { (*OnOff)(h).switchState() }
+func (h *onOffEmit) OnEvent(any)   { (*OnOff)(h).emit() }
 
 // NewOnOff creates and starts the source (beginning with an OFF period so
 // starts de-synchronise across sources).
@@ -93,8 +107,7 @@ func NewOnOff(eng *sim.Engine, node *netem.Node, key packet.FlowKey, rateBps flo
 		MeanOn: meanOn, MeanOff: meanOff,
 		rng: sim.NewRand(seed ^ key.Hash(0x0F0F)),
 	}
-	o.emitFn = o.emit
-	eng.Schedule(o.expDur(meanOff), o.switchState)
+	eng.ArmTimer(&o.stateTimer, o.expDur(meanOff), (*onOffSwitch)(o), nil)
 	return o
 }
 
@@ -110,9 +123,9 @@ func (o *OnOff) switchState() {
 	o.on = !o.on
 	if o.on {
 		o.emit()
-		o.eng.Schedule(o.expDur(o.MeanOn), o.switchState)
+		o.eng.ArmTimer(&o.stateTimer, o.expDur(o.MeanOn), (*onOffSwitch)(o), nil)
 	} else {
-		o.eng.Schedule(o.expDur(o.MeanOff), o.switchState)
+		o.eng.ArmTimer(&o.stateTimer, o.expDur(o.MeanOff), (*onOffSwitch)(o), nil)
 	}
 }
 
@@ -127,7 +140,7 @@ func (o *OnOff) emit() {
 	p.SentAt = o.eng.Now()
 	o.node.Inject(p)
 	o.Sent++
-	o.eng.Schedule(sim.Time(float64(o.PacketBytes*8)/o.RateBps*1e9), o.emitFn)
+	o.eng.ArmTimer(&o.emitTimer, sim.Time(float64(o.PacketBytes*8)/o.RateBps*1e9), (*onOffEmit)(o), nil)
 }
 
 // Stop halts emission.
@@ -164,6 +177,17 @@ type Churn struct {
 	// CompletionTimes collects per-flow transfer durations.
 	CompletionTimes []sim.Time
 	stopped         bool
+	timer           sim.Timer
+}
+
+// churnArrival fires one Poisson arrival: start the flow, draw the next
+// inter-arrival gap.
+type churnArrival Churn
+
+func (h *churnArrival) OnEvent(any) {
+	c := (*Churn)(h)
+	c.startFlow()
+	c.scheduleNext()
 }
 
 // NewChurn creates and starts the workload.
@@ -184,10 +208,7 @@ func (c *Churn) scheduleNext() {
 		return
 	}
 	gap := sim.Time(c.rng.ExpFloat64() / c.cfg.ArrivalsPerSec * 1e9)
-	c.eng.Schedule(gap, func() {
-		c.startFlow()
-		c.scheduleNext()
-	})
+	c.eng.ArmTimer(&c.timer, gap, (*churnArrival)(c), nil)
 }
 
 func (c *Churn) startFlow() {

@@ -8,11 +8,13 @@ import (
 	"cebinae/internal/packet"
 	"cebinae/internal/qdisc"
 	"cebinae/internal/sim"
+	"cebinae/internal/tcp"
 )
 
 func BenchmarkEngineDispatch(b *testing.B)        { EngineDispatch(b) }
 func BenchmarkEngineDispatchClosure(b *testing.B) { EngineDispatchClosure(b) }
 func BenchmarkEngineScheduleCancel(b *testing.B)  { EngineScheduleCancel(b) }
+func BenchmarkTimerChurn(b *testing.B)            { TimerChurn(b) }
 func BenchmarkNetemForward(b *testing.B)          { NetemForward(b) }
 func BenchmarkDumbbellE2E(b *testing.B)           { DumbbellE2E(b) }
 
@@ -41,7 +43,80 @@ func TestEngineDispatchZeroAlloc(t *testing.T) {
 	}
 }
 
-// TestNetemForwardZeroAlloc pins the forwarding hot path: packet pool,
+// TestScheduleCancelAllocs pins the closure schedule+cancel cycle at
+// exactly one allocation: the Event handle itself. This cost is accepted,
+// not an oversight — the handle Schedule returns may be retained by the
+// caller forever, so a fired or cancelled closure event can never be
+// proven unreferenced; recycling one would let a stale handle's Cancel
+// kill an unrelated later event (the ABA hazard sim.Engine.At documents).
+// Hot-path callers avoid the alloc by embedding a sim.Timer instead, which
+// TestTimerChurnZeroAlloc pins at zero.
+func TestScheduleCancelAllocs(t *testing.T) {
+	eng := sim.NewEngine()
+	fn := func() {}
+	ev := eng.Schedule(1, fn)
+	allocs := testing.AllocsPerRun(1000, func() {
+		eng.Cancel(ev)
+		ev = eng.Schedule(1, fn)
+	})
+	if allocs != 1 {
+		t.Fatalf("closure schedule+cancel allocates %.1f objects/op, want exactly 1 (the Event handle)", allocs)
+	}
+}
+
+// TestTimerChurnZeroAlloc pins the Timer surface: re-arming a standing
+// population of wheel-resident timers allocates nothing.
+func TestTimerChurnZeroAlloc(t *testing.T) {
+	eng := sim.NewEngine()
+	h := timerNopHandler{}
+	const depth = 64
+	var tms [depth]sim.Timer
+	for i := range tms {
+		eng.ArmTimer(&tms[i], sim.Time(i+1)*sim.Time(1e6), h, nil)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		slot := i % depth
+		i++
+		eng.ArmTimer(&tms[slot], sim.Time(slot+1)*sim.Time(1e6), h, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("timer re-arm churn allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestTCPRTTZeroAlloc pins the full transport timer plane: at steady
+// state, a round-trip's worth of simulated TCP — pacing and RTO timer
+// re-arms, delayed-ACK arms/cancels, SACK scoreboard updates, sent-record
+// recycling — runs without allocating.
+func TestTCPRTTZeroAlloc(t *testing.T) {
+	const rtt = sim.Time(20e6)
+	eng := sim.NewEngine()
+	w := netem.NewNetwork(eng)
+	d := netem.BuildDumbbell(w, netem.DumbbellConfig{
+		FlowCount:       1,
+		BottleneckBps:   100e6,
+		BottleneckDelay: sim.Time(0.1e6),
+		RTTs:            []sim.Time{rtt},
+		BottleneckQdisc: func(dev *netem.Device) netem.Qdisc { return qdisc.NewFIFO(450 * 1500) },
+		DefaultQdisc:    func() netem.Qdisc { return qdisc.NewFIFO(16 << 20) },
+	})
+	key := packet.FlowKey{Src: d.Senders[0].ID, Dst: d.Receivers[0].ID, SrcPort: 1, DstPort: 2, Proto: packet.ProtoTCP}
+	tcp.NewConn(eng, d.Senders[0], tcp.Config{Key: key})
+	tcp.NewReceiver(eng, d.Receivers[0], tcp.ReceiverConfig{Key: key, DelAckCount: 2})
+	// Warm well past slow start so pools, rings, and the scoreboard have
+	// reached their steady-state sizes.
+	horizon := sim.Time(2e9)
+	eng.Run(horizon)
+	allocs := testing.AllocsPerRun(20, func() {
+		horizon += rtt
+		eng.Run(horizon)
+	})
+	if allocs != 0 {
+		t.Fatalf("one RTT of steady-state TCP allocates %.1f objects, want 0", allocs)
+	}
+}
+
 // qdisc, persistent transmit event, and pooled propagation event together
 // move a packet across a hop without allocating.
 func TestNetemForwardZeroAlloc(t *testing.T) {

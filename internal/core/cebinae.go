@@ -70,6 +70,12 @@ type Qdisc struct {
 	roundsSoFar  int
 	pendingRates *pendingConfig
 
+	// rotTimer / cfgTimer drive the control loop: one ROTATE per dT and
+	// one configuration window vdT+L after it (never overlapping, since
+	// Params.Validate requires vdT+L < dT).
+	rotTimer sim.Timer
+	cfgTimer sim.Timer
+
 	// OnDrain, when set, is invoked after rotations (which can un-gate the
 	// future queue) so an idle device resumes transmission; wire it to the
 	// owning netem Device's Kick.
@@ -151,10 +157,24 @@ func (q *Qdisc) TopFlows() []packet.FlowKey {
 	return out
 }
 
+// cebRotate / cebConfigure are the control loop's timer handlers: named
+// pointer types over Qdisc, so the per-round rescheduling allocates no
+// closures. The configure timer's payload carries the recompute flag
+// (boolean boxing is allocation-free).
+type (
+	cebRotate    Qdisc
+	cebConfigure Qdisc
+)
+
+func (h *cebRotate) OnEvent(any) { (*Qdisc)(h).rotate() }
+func (h *cebConfigure) OnEvent(arg any) {
+	(*Qdisc)(h).configure(arg.(bool))
+}
+
 // scheduleRotation arms the next ROTATE at the next dT boundary.
 func (q *Qdisc) scheduleRotation() {
 	next := (q.eng.Now()/q.params.DT + 1) * q.params.DT
-	q.eng.At(next, q.rotate)
+	q.eng.ArmTimerAt(&q.rotTimer, next, (*cebRotate)(q), nil)
 }
 
 // rotate is the ROTATE packet handler (Fig. 5 lines 9–13): retire the
@@ -189,7 +209,7 @@ func (q *Qdisc) rotate() {
 	}
 
 	recompute := q.roundsSoFar%q.params.P == 0
-	q.eng.Schedule(q.params.VDT+q.params.L, func() { q.configure(recompute) })
+	q.eng.ArmTimer(&q.cfgTimer, q.params.VDT+q.params.L, (*cebConfigure)(q), recompute)
 	q.scheduleRotation()
 	if q.OnDrain != nil {
 		q.OnDrain()

@@ -38,9 +38,15 @@ type Strawman struct {
 	txBytes    uint64
 	lastTx     uint64
 	lastRefill sim.Time
+	timer      sim.Timer
 
 	Stats Stats
 }
+
+// strawmanControl is the control-loop timer handler.
+type strawmanControl Strawman
+
+func (h *strawmanControl) OnEvent(any) { (*Strawman)(h).control() }
 
 type tokenBucket struct {
 	tokens float64
@@ -58,7 +64,7 @@ func NewStrawman(eng *sim.Engine, capacityBps float64, bufferBytes int, interval
 		buckets:     make(map[packet.FlowKey]*tokenBucket),
 		cache:       hhcache.New(2, 2048),
 	}
-	eng.Schedule(interval, s.control)
+	eng.ArmTimer(&s.timer, interval, (*strawmanControl)(s), nil)
 	return s
 }
 
@@ -96,7 +102,7 @@ func (s *Strawman) control() {
 	if s.limiting {
 		s.Stats.SaturatedTime += s.Interval
 	}
-	s.eng.Schedule(s.Interval, s.control)
+	s.eng.ArmTimer(&s.timer, s.Interval, (*strawmanControl)(s), nil)
 }
 
 // Enqueue polices against the per-flow bucket while limiting, then FIFOs.

@@ -6,6 +6,7 @@ package metrics
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"cebinae/internal/sim"
 )
@@ -110,16 +111,41 @@ type CDFPoint struct {
 	P     float64
 }
 
+// scratch pools the sort buffers CDF and Percentile use, so helpers called
+// per-job in a sweep stop allocating (and re-sorting into) a fresh copy of
+// their input every time. Buffers only live for the duration of one call.
+var scratch = sync.Pool{New: func() any { return new([]float64) }}
+
+// sortedScratch returns a pooled buffer holding a sorted copy of values.
+// Callers must hand it back via scratch.Put when done.
+func sortedScratch(values []float64) *[]float64 {
+	bp := scratch.Get().(*[]float64)
+	*bp = append((*bp)[:0], values...)
+	sort.Float64s(*bp)
+	return bp
+}
+
 // CDF computes the empirical CDF of values.
 func CDF(values []float64) []CDFPoint {
 	if len(values) == 0 {
 		return nil
 	}
-	s := append([]float64(nil), values...)
-	sort.Float64s(s)
-	out := make([]CDFPoint, len(s))
-	for i, v := range s {
-		out[i] = CDFPoint{Value: v, P: float64(i+1) / float64(len(s))}
+	bp := sortedScratch(values)
+	out := CDFSorted(*bp)
+	scratch.Put(bp)
+	return out
+}
+
+// CDFSorted computes the empirical CDF of already-ascending values without
+// copying or re-sorting them — use it when the caller just built a sorted
+// slice (e.g. Result.SortedGoodputs).
+func CDFSorted(sorted []float64) []CDFPoint {
+	if len(sorted) == 0 {
+		return nil
+	}
+	out := make([]CDFPoint, len(sorted))
+	for i, v := range sorted {
+		out[i] = CDFPoint{Value: v, P: float64(i+1) / float64(len(sorted))}
 	}
 	return out
 }
@@ -130,8 +156,9 @@ func Percentile(values []float64, p float64) float64 {
 	if len(values) == 0 {
 		return math.NaN()
 	}
-	s := append([]float64(nil), values...)
-	sort.Float64s(s)
+	bp := sortedScratch(values)
+	s := *bp
+	defer scratch.Put(bp)
 	if p <= 0 {
 		return s[0]
 	}

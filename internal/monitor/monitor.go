@@ -41,7 +41,14 @@ type Monitor struct {
 	lastDrops   uint64
 	Samples     []Sample
 	stopped     bool
+	timer       sim.Timer
 }
+
+// monitorTick is the sampling-timer handler (named pointer type over
+// Monitor: re-arming each period allocates nothing).
+type monitorTick Monitor
+
+func (h *monitorTick) OnEvent(any) { (*Monitor)(h).sample() }
 
 // Watch starts sampling dev every interval. If the device's qdisc is a
 // Cebinae instance its control-plane state is captured too.
@@ -50,7 +57,7 @@ func Watch(eng *sim.Engine, dev *netem.Device, interval sim.Time) *Monitor {
 	if cq, ok := dev.Qdisc().(*core.Qdisc); ok {
 		m.ceb = cq
 	}
-	eng.Schedule(interval, m.sample)
+	eng.ArmTimer(&m.timer, interval, (*monitorTick)(m), nil)
 	return m
 }
 
@@ -76,7 +83,7 @@ func (m *Monitor) sample() {
 		s.Delayed = m.ceb.Stats.Delayed
 	}
 	m.Samples = append(m.Samples, s)
-	m.eng.Schedule(m.interval, m.sample)
+	m.eng.ArmTimer(&m.timer, m.interval, (*monitorTick)(m), nil)
 }
 
 // Stop ends sampling.

@@ -5,7 +5,7 @@
 // fire in scheduling order (FIFO tie-breaking), which makes runs fully
 // deterministic for a fixed seed and workload.
 //
-// Two scheduling surfaces share one queue:
+// Four scheduling surfaces share one totally-ordered event stream:
 //
 //   - Schedule / ScheduleStd / At take a func() and return an *Event handle
 //     that can be cancelled. Convenient, but each call allocates the event
@@ -13,9 +13,19 @@
 //   - ScheduleCall / AtCall take a Handler interface plus a payload and
 //     return nothing; the event structs behind them are recycled on a
 //     per-engine free list, so steady-state scheduling is allocation-free.
-//     ScheduleOwned goes one step further for strictly sequential streams
+//   - ScheduleOwned goes one step further for strictly sequential streams
 //     (a device's transmit completions): the caller embeds one Event and
-//     reuses it for every occurrence.
+//     reuses it for every occurrence. It cannot be re-armed while pending.
+//   - ArmTimer / ArmTimerAt / StopTimer drive a caller-embedded Timer: the
+//     cancellable, reschedulable-in-place surface for deadlines that are
+//     usually re-armed or stopped before they fire (RTO, pacing, delayed
+//     ACK, control loops). Far-future timers park in a hierarchical timing
+//     wheel where stop/re-arm is O(1); see timer.go.
+//
+// Choosing a surface: one-shot cold-path setup code → Schedule/At;
+// self-perpetuating streams with a payload → ScheduleCall; a strictly
+// sequential stream owned by one struct → ScheduleOwned; anything that
+// needs cancellation or re-arming on the hot path → a Timer.
 package sim
 
 import (
@@ -65,6 +75,9 @@ const (
 	// kindOwned events are embedded in a caller's struct and rescheduled
 	// in place (ScheduleOwned); the engine never frees or recycles them.
 	kindOwned
+	// kindTimer events are the heap residency of a caller-embedded Timer
+	// (timer.go); arg back-points to the Timer, which carries the handler.
+	kindTimer
 )
 
 // Event is a scheduled callback. Events created by Schedule/At are handles
@@ -99,6 +112,7 @@ type Engine struct {
 	seq     uint64
 	queue   []*Event // 4-ary min-heap ordered by (at, seq)
 	free    []*Event // recycled kindPooled events
+	wheel   timerWheel
 	stopped bool
 	// Processed counts events dispatched since construction.
 	Processed uint64
@@ -106,7 +120,10 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	e.wheel.earliest = MaxTime
+	e.wheel.overflowMin = MaxTime
+	return e
 }
 
 // Now returns the current virtual time.
@@ -128,6 +145,18 @@ func (e *Engine) ScheduleStd(d time.Duration, fn func()) *Event {
 
 // At runs fn at absolute virtual time t. Times in the past are clamped to
 // the current instant.
+//
+// Each call allocates its Event, and deliberately so: the returned handle
+// may be retained by the caller indefinitely, so a fired or cancelled
+// closure event can never be proven unreferenced and must not be drawn
+// from (or returned to) the pooled free list. Recycling one would alias a
+// stale handle onto a later event: Cancel on the old handle would then
+// silently kill the new unrelated event (the classic ABA hazard —
+// distinguishing the two incarnations would need a generation counter in
+// the handle, i.e. a different API). Callers on a hot schedule/cancel
+// path should embed a Timer instead (ArmTimer), which is allocation-free
+// because the caller owns the memory. The closure path's per-op cost is
+// pinned by TestScheduleCancelAllocs in the benchkit package.
 func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		t = e.now
@@ -216,8 +245,9 @@ func (e *Engine) recycle(ev *Event) {
 // Stop makes Run return after the currently dispatching event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending returns the number of events waiting to fire.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events waiting to fire, including timers
+// parked in the timing wheel.
+func (e *Engine) Pending() int { return len(e.queue) + e.wheel.count }
 
 // Run dispatches events in time order until the queue empties, the clock
 // would pass `until`, or Stop is called. It returns the virtual time at
@@ -229,7 +259,26 @@ func (e *Engine) Run(until Time) Time {
 		return e.now
 	}
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
+	for !e.stopped {
+		// The heap top is only authoritative once every wheel slot that
+		// could hold an earlier (or same-instant, earlier-seq) timer has
+		// been flushed into the heap. The fast path is one comparison
+		// against the wheel's earliest-slot lower bound.
+		if e.wheel.count > 0 {
+			h := until
+			if len(e.queue) > 0 && e.queue[0].at < h {
+				h = e.queue[0].at
+			}
+			if e.wheel.earliest <= h {
+				// Flush only the earliest slot(s): staying lazy keeps
+				// later timers in the wheel where cancellation is O(1).
+				e.advanceWheel(e.wheel.earliest)
+				continue
+			}
+		}
+		if len(e.queue) == 0 {
+			break
+		}
 		next := e.queue[0]
 		if next.at > until {
 			e.now = until
@@ -247,6 +296,14 @@ func (e *Engine) Run(until Time) Time {
 			// (the common self-perpetuating pattern) reuses this very
 			// event.
 			e.recycle(next)
+			h.OnEvent(arg)
+		case kindTimer:
+			tm := next.arg.(*Timer)
+			// Mark idle before dispatch so the handler can re-arm the
+			// timer in place (the self-perpetuating tick pattern).
+			tm.state = timerIdle
+			h, arg := tm.h, tm.arg
+			tm.arg = nil // drop the payload reference until re-armed
 			h.OnEvent(arg)
 		default: // kindOwned
 			h, arg := next.handler, next.arg

@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// timerRecorder appends its arg (an int id) to a shared log.
+type timerRecorder struct {
+	log *[]string
+	eng *Engine
+}
+
+func (r *timerRecorder) OnEvent(arg any) {
+	*r.log = append(*r.log, fmt.Sprintf("%d@%d", arg, r.eng.Now()))
+}
+
+func TestTimerFireAndReuse(t *testing.T) {
+	eng := NewEngine()
+	var log []string
+	r := &timerRecorder{log: &log, eng: eng}
+	var tm Timer
+	if tm.Pending() {
+		t.Fatal("zero Timer must be idle")
+	}
+	eng.ArmTimer(&tm, 10, r, 1)
+	if !tm.Pending() || tm.Deadline() != 10 {
+		t.Fatalf("armed timer: pending=%v deadline=%v", tm.Pending(), tm.Deadline())
+	}
+	eng.RunAll()
+	if !tm.Pending() == false && len(log) != 1 {
+		t.Fatalf("log=%v", log)
+	}
+	eng.ArmTimer(&tm, 5, r, 2) // reuse after firing
+	eng.RunAll()
+	if fmt.Sprint(log) != "[1@10 2@15]" {
+		t.Fatalf("log=%v", log)
+	}
+}
+
+func TestTimerStopAndRearm(t *testing.T) {
+	eng := NewEngine()
+	var log []string
+	r := &timerRecorder{log: &log, eng: eng}
+	var tm Timer
+	eng.ArmTimer(&tm, 10, r, 1)
+	if !eng.StopTimer(&tm) {
+		t.Fatal("StopTimer on a pending timer must report true")
+	}
+	if eng.StopTimer(&tm) {
+		t.Fatal("StopTimer on an idle timer must report false")
+	}
+	eng.RunAll()
+	if len(log) != 0 {
+		t.Fatalf("stopped timer fired: %v", log)
+	}
+	// Re-arm in place without an explicit stop: only the last deadline
+	// fires.
+	eng.ArmTimer(&tm, 10, r, 2)
+	eng.ArmTimer(&tm, 20, r, 3)
+	eng.RunAll()
+	if fmt.Sprint(log) != "[3@20]" {
+		t.Fatalf("log=%v", log)
+	}
+}
+
+// TestTimerSeqTieBreak pins the determinism contract: a timer armed by the
+// n-th scheduling call fires exactly where the n-th closure Schedule would
+// have, including at equal instants.
+func TestTimerSeqTieBreak(t *testing.T) {
+	eng := NewEngine()
+	var log []string
+	r := &timerRecorder{log: &log, eng: eng}
+	var early, late Timer
+	eng.ArmTimerAt(&early, 100, r, 1)                              // seq 0
+	eng.Schedule(100, func() { log = append(log, "closure@100") }) // seq 1
+	eng.ArmTimerAt(&late, 100, r, 2)                               // seq 2
+	eng.ScheduleCall(100, r, 3)                                    // seq 3
+	eng.RunAll()
+	want := "[1@100 closure@100 2@100 3@100]"
+	if fmt.Sprint(log) != want {
+		t.Fatalf("log=%v want %v", log, want)
+	}
+}
+
+// TestTimerRearmInHandler exercises the self-perpetuating tick pattern.
+type tickHandler struct {
+	eng  *Engine
+	tm   *Timer
+	n    int
+	seen []Time
+}
+
+func (h *tickHandler) OnEvent(any) {
+	h.seen = append(h.seen, h.eng.Now())
+	h.n--
+	if h.n > 0 {
+		h.eng.ArmTimer(h.tm, 7, h, nil)
+	}
+}
+
+func TestTimerRearmInHandler(t *testing.T) {
+	eng := NewEngine()
+	var tm Timer
+	h := &tickHandler{eng: eng, tm: &tm, n: 4}
+	eng.ArmTimer(&tm, 7, h, nil)
+	eng.RunAll()
+	if len(h.seen) != 4 || h.seen[0] != 7 || h.seen[1] != 14 || h.seen[2] != 21 || h.seen[3] != 28 {
+		t.Fatalf("ticks=%v", h.seen)
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("pending=%d", eng.Pending())
+	}
+}
+
+// TestTimerWheelLevels arms timers across every wheel level (and the
+// overflow list) and checks they all fire, in order, at their exact
+// deadlines.
+func TestTimerWheelLevels(t *testing.T) {
+	eng := NewEngine()
+	var log []string
+	r := &timerRecorder{log: &log, eng: eng}
+	delays := []Time{
+		1,     // below level 0: straight to heap
+		40e3,  // level 0 (~16 µs slots)
+		3e6,   // level 1
+		150e6, // level 2
+		9e9,   // level 3
+		500e9, // level 4
+		40e12, // level 5
+		5e15,  // beyond the wheel: overflow list (~58 days)
+	}
+	timers := make([]Timer, len(delays))
+	for i, d := range delays {
+		eng.ArmTimer(&timers[i], d, r, i)
+	}
+	if eng.Pending() != len(delays) {
+		t.Fatalf("pending=%d want %d", eng.Pending(), len(delays))
+	}
+	eng.RunAll()
+	want := "[0@1 1@40000 2@3000000 3@150000000 4@9000000000 5@500000000000 6@40000000000000 7@5000000000000000]"
+	if fmt.Sprint(log) != want {
+		t.Fatalf("log=%v", log)
+	}
+}
+
+// TestTimerStopAcrossLevels stops one parked timer per wheel level and
+// verifies none fire and the wheel empties.
+func TestTimerStopAcrossLevels(t *testing.T) {
+	eng := NewEngine()
+	var log []string
+	r := &timerRecorder{log: &log, eng: eng}
+	delays := []Time{1, 40e3, 3e6, 150e6, 9e9, 500e9, 40e12, 5e15}
+	timers := make([]Timer, len(delays))
+	for i, d := range delays {
+		eng.ArmTimer(&timers[i], d, r, i)
+	}
+	for i := range timers {
+		if !eng.StopTimer(&timers[i]) {
+			t.Fatalf("timer %d not pending", i)
+		}
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("pending=%d after stopping all", eng.Pending())
+	}
+	eng.RunAll()
+	if len(log) != 0 {
+		t.Fatalf("stopped timers fired: %v", log)
+	}
+}
+
+// TestTimerRunHorizon checks Run(until) semantics with parked timers: the
+// clock settles at the horizon and the timer fires on a later Run.
+func TestTimerRunHorizon(t *testing.T) {
+	eng := NewEngine()
+	var log []string
+	r := &timerRecorder{log: &log, eng: eng}
+	var tm Timer
+	eng.ArmTimer(&tm, Time(300e6), r, 1)
+	if got := eng.Run(Time(100e6)); got != Time(100e6) {
+		t.Fatalf("Run returned %v", got)
+	}
+	if len(log) != 0 || !tm.Pending() {
+		t.Fatalf("timer fired early: %v pending=%v", log, tm.Pending())
+	}
+	eng.Run(Time(400e6))
+	if fmt.Sprint(log) != "[1@300000000]" {
+		t.Fatalf("log=%v", log)
+	}
+}
+
+// TestTimerArmPast clamps to the current instant, like At.
+func TestTimerArmPast(t *testing.T) {
+	eng := NewEngine()
+	var log []string
+	r := &timerRecorder{log: &log, eng: eng}
+	var tm Timer
+	eng.Schedule(100, func() {
+		eng.ArmTimerAt(&tm, 5, r, 1) // in the past
+	})
+	eng.RunAll()
+	if fmt.Sprint(log) != "[1@100]" {
+		t.Fatalf("log=%v", log)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: an identical randomized schedule/cancel/re-arm script
+// is applied to two engines — one through the Timer/wheel surface, one
+// through the closure heap surface — and both must dispatch the identical
+// event sequence. Both consume one seq per arm, so equal-instant
+// tie-breaking must match exactly.
+// ---------------------------------------------------------------------------
+
+type diffDriver struct {
+	useTimers bool
+	eng       *Engine
+	rng       *Rand
+	timers    []Timer
+	handles   []*Event
+	fired     *[]string
+	handlers  []diffFire
+	opsLeft   int
+}
+
+type diffFire struct {
+	d  *diffDriver
+	id int
+}
+
+func (f *diffFire) OnEvent(any) {
+	*f.d.fired = append(*f.d.fired, fmt.Sprintf("%d@%d", f.id, f.d.eng.Now()))
+}
+
+// step is the op-script event: at each step the driver applies one random
+// arm/stop to a random timer slot, then reschedules itself. Both engines
+// share the rng *sequence* (fresh generator per run, same seed).
+func (d *diffDriver) OnEvent(any) {
+	if d.opsLeft <= 0 {
+		return
+	}
+	d.opsLeft--
+	slot := d.rng.Intn(len(d.timers))
+	op := d.rng.Intn(4)
+	// Delays spread across wheel levels: from sub-slot to level-4 range.
+	exp := d.rng.Intn(36)
+	delay := Time(1 + d.rng.Intn(1<<uint(exp)))
+	switch {
+	case op <= 1: // arm / re-arm
+		if d.useTimers {
+			d.eng.ArmTimer(&d.timers[slot], delay, &d.handlers[slot], nil)
+		} else {
+			if h := d.handles[slot]; h != nil && !h.Cancelled() {
+				d.eng.Cancel(h)
+			}
+			f := &d.handlers[slot]
+			d.handles[slot] = d.eng.Schedule(delay, func() { f.OnEvent(nil) })
+		}
+	case op == 2: // stop
+		if d.useTimers {
+			d.eng.StopTimer(&d.timers[slot])
+		} else {
+			if h := d.handles[slot]; h != nil {
+				d.eng.Cancel(h)
+				d.handles[slot] = nil
+			}
+		}
+	default: // let time pass (no-op: the step advance below is the pass)
+	}
+	d.eng.ScheduleCall(Time(1+d.rng.Intn(1<<uint(d.rng.Intn(32)))), d, nil)
+}
+
+func runTimerDiff(seed uint64, useTimers bool, steps, slots int) []string {
+	eng := NewEngine()
+	var fired []string
+	d := &diffDriver{
+		useTimers: useTimers,
+		eng:       eng,
+		rng:       NewRand(seed),
+		timers:    make([]Timer, slots),
+		handles:   make([]*Event, slots),
+		fired:     &fired,
+		opsLeft:   steps,
+	}
+	d.handlers = make([]diffFire, slots)
+	for i := range d.handlers {
+		d.handlers[i] = diffFire{d: d, id: i}
+	}
+	eng.ScheduleCall(0, d, nil)
+	eng.RunAll()
+	return fired
+}
+
+func TestTimerHeapDifferential(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		heap := runTimerDiff(seed, false, 400, 8)
+		wheel := runTimerDiff(seed, true, 400, 8)
+		if fmt.Sprint(heap) != fmt.Sprint(wheel) {
+			t.Fatalf("seed %d: wheel and heap schedules diverge\nheap:  %v\nwheel: %v", seed, heap, wheel)
+		}
+		if seed == 1 && len(heap) == 0 {
+			t.Fatal("differential script fired nothing; widen the op mix")
+		}
+	}
+}
+
+func FuzzTimerHeapEquivalence(f *testing.F) {
+	f.Add(uint64(7), uint16(300))
+	f.Add(uint64(42), uint16(800))
+	f.Fuzz(func(t *testing.T, seed uint64, steps16 uint16) {
+		steps := int(steps16)%1000 + 10
+		heap := runTimerDiff(seed, false, steps, 6)
+		wheel := runTimerDiff(seed, true, steps, 6)
+		if fmt.Sprint(heap) != fmt.Sprint(wheel) {
+			t.Fatalf("seed %d steps %d: diverged\nheap:  %v\nwheel: %v", seed, steps, heap, wheel)
+		}
+	})
+}
+
+// TestTimerAllocs pins the allocation-free contract: arm, stop, re-arm,
+// and fire cycles on an embedded timer allocate nothing.
+func TestTimerAllocs(t *testing.T) {
+	eng := NewEngine()
+	var log []string
+	r := &timerRecorder{log: &log, eng: eng}
+	var tm Timer
+	h := Handler(r)
+	// Warm: the first fire may grow the log slice.
+	eng.ArmTimer(&tm, Time(250e6), h, nil)
+	eng.StopTimer(&tm)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		eng.ArmTimer(&tm, Time(250e6), h, nil) // parks in the wheel
+		eng.ArmTimer(&tm, Time(90e6), h, nil)  // re-arm across levels
+		eng.ArmTimer(&tm, Time(5e3), h, nil)   // re-arm into the heap
+		eng.StopTimer(&tm)
+	})
+	if allocs != 0 {
+		t.Fatalf("timer arm/re-arm/stop allocates %v per cycle; want 0", allocs)
+	}
+
+	// A firing cycle (arm → dispatch → re-arm from the handler) is also
+	// allocation-free once the engine's heap has warmed.
+	th := &tickHandler{eng: eng, tm: &tm}
+	allocs = testing.AllocsPerRun(1000, func() {
+		th.n = 2
+		th.seen = th.seen[:0]
+		eng.ArmTimer(&tm, 7, th, nil)
+		eng.RunAll()
+	})
+	if allocs != 0 {
+		t.Fatalf("timer fire cycle allocates %v; want 0", allocs)
+	}
+}

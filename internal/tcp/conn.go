@@ -48,6 +48,11 @@ type sentRecord struct {
 	txTimeAtTx    sim.Time
 	firstTxAtTx   sim.Time // send time of the last-delivered packet at send
 	appLimited    bool
+
+	// nextFree links retired records into the connection's free list so the
+	// steady state (clearSent on ACK, reuse on the next transmit) allocates
+	// nothing.
+	nextFree *sentRecord
 }
 
 // ConnStats aggregates sender-side counters.
@@ -98,7 +103,7 @@ type Conn struct {
 
 	// RTT estimation (RFC 6298).
 	srtt, rttvar, rto sim.Time
-	rtoEvent          *sim.Event
+	rtoTimer          sim.Timer
 	backoff           int
 
 	// Delivery accounting for rate samples: delivered counts bytes known
@@ -113,17 +118,13 @@ type Conn struct {
 	nextRoundDelivered int64
 	roundCount         int64
 
-	sent map[int64]*sentRecord
+	sent     map[int64]*sentRecord
+	freeRecs *sentRecord // retired sentRecords awaiting reuse
 
-	// Pacing.
-	pacingEvent  *sim.Event
+	// Pacing. The timer doubles as the flow-start timer (both dispatch
+	// trySend, and the start strictly precedes any pacing).
+	pacingTimer  sim.Timer
 	nextSendTime sim.Time
-
-	// trySendFn / onRTOFn are the bound method values handed to the
-	// scheduler, built once so per-packet rescheduling does not allocate a
-	// fresh closure every time.
-	trySendFn func()
-	onRTOFn   func()
 
 	// ECN state: one reduction per RTT on ECE.
 	eceSeq int64
@@ -174,13 +175,21 @@ func NewConn(eng *sim.Engine, src *netem.Node, cfg Config) *Conn {
 	}
 	c.Cwnd = float64(cfg.InitialCwndSegments * cfg.MSS)
 	c.Ssthresh = 1 << 40
-	c.trySendFn = c.trySend
-	c.onRTOFn = c.onRTO
 	src.Register(cfg.Key.Reverse(), c)
 	c.cc.Init(c)
-	eng.At(cfg.StartAt, c.trySendFn)
+	eng.ArmTimerAt(&c.pacingTimer, cfg.StartAt, (*connSend)(c), nil)
 	return c
 }
+
+// connSend and connRTO are the connection's timer handlers: named pointer
+// types over Conn so the scheduler calls bind without a closure.
+type (
+	connSend Conn
+	connRTO  Conn
+)
+
+func (h *connSend) OnEvent(any) { (*Conn)(h).trySend() }
+func (h *connRTO) OnEvent(any)  { (*Conn)(h).onRTO() }
 
 // Key returns the data-direction flow key.
 func (c *Conn) Key() packet.FlowKey { return c.cfg.Key }
@@ -321,10 +330,10 @@ func (c *Conn) trySend() {
 }
 
 func (c *Conn) schedulePacing(d sim.Time) {
-	if c.pacingEvent != nil && !c.pacingEvent.Cancelled() {
+	if c.pacingTimer.Pending() {
 		return
 	}
-	c.pacingEvent = c.eng.Schedule(d, c.trySendFn)
+	c.eng.ArmTimer(&c.pacingTimer, d, (*connSend)(c), nil)
 }
 
 // transmit sends the segment at seq. Retransmissions reuse the original
@@ -347,7 +356,12 @@ func (c *Conn) transmit(seq int64, size int32, retx bool) {
 	}
 	rec := c.sent[seq]
 	if rec == nil {
-		rec = &sentRecord{}
+		if rec = c.freeRecs; rec != nil {
+			c.freeRecs = rec.nextFree
+			*rec = sentRecord{}
+		} else {
+			rec = &sentRecord{}
+		}
 		c.sent[seq] = rec
 	}
 	rec.size = size
@@ -384,7 +398,7 @@ func (c *Conn) transmit(seq int64, size int32, retx bool) {
 	// Arm the retransmission timer only if idle: re-arming on every send
 	// would let a steady stream of new data postpone loss detection
 	// indefinitely. The timer is re-armed fresh on cumulative ACK advance.
-	if c.rtoEvent == nil || c.rtoEvent.Cancelled() {
+	if !c.rtoTimer.Pending() {
 		c.armRTO()
 	}
 }
@@ -583,6 +597,8 @@ func (c *Conn) clearSent(from, to int64) {
 		}
 		delete(c.sent, seq)
 		seq += int64(rec.size)
+		rec.nextFree = c.freeRecs
+		c.freeRecs = rec
 	}
 }
 
@@ -642,22 +658,19 @@ func (c *Conn) updateRTT(rtt sim.Time) {
 }
 
 func (c *Conn) armRTO() {
-	c.cancelRTO()
 	if c.sndNxt == c.sndUna {
+		c.cancelRTO()
 		return
 	}
 	timeout := c.rto << uint(c.backoff)
 	if timeout > sim.Duration(60e9) {
 		timeout = sim.Duration(60e9)
 	}
-	c.rtoEvent = c.eng.Schedule(timeout, c.onRTOFn)
+	c.eng.ArmTimer(&c.rtoTimer, timeout, (*connRTO)(c), nil)
 }
 
 func (c *Conn) cancelRTO() {
-	if c.rtoEvent != nil {
-		c.eng.Cancel(c.rtoEvent)
-		c.rtoEvent = nil
-	}
+	c.eng.StopTimer(&c.rtoTimer)
 }
 
 // onRTO handles a retransmission timeout. With SACK there is no go-back-N:

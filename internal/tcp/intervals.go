@@ -9,42 +9,50 @@ type intervalSet struct {
 }
 
 // add merges [start, end) into the set, returning the number of bytes that
-// were not previously covered.
+// were not previously covered. The merge is performed in place: the hot
+// path (SACK scoreboard updates on every ACK) only allocates when the
+// backing array must grow, which amortises to nothing.
 func (s *intervalSet) add(start, end int64) int64 {
 	if start >= end {
 		return 0
 	}
+	ivs := s.ivs
+	n := len(ivs)
 	newBytes := end - start
-	out := s.ivs[:0:0]
-	placed := false
-	for _, iv := range s.ivs {
-		switch {
-		case iv.end < start:
-			out = append(out, iv)
-		case iv.start > end:
-			if !placed {
-				out = append(out, interval{start, end})
-				placed = true
-			}
-			out = append(out, iv)
-		default:
-			// Overlap or adjacency: fold into the pending interval.
-			overlapLo, overlapHi := max64(iv.start, start), min64(iv.end, end)
-			if overlapHi > overlapLo {
-				newBytes -= overlapHi - overlapLo
-			}
-			if iv.start < start {
-				start = iv.start
-			}
-			if iv.end > end {
-				end = iv.end
-			}
+
+	// Locate the run ivs[i:j] of intervals overlapping or abutting
+	// [start, end); everything before i sorts strictly below, everything
+	// from j on strictly above.
+	i := 0
+	for i < n && ivs[i].end < start {
+		i++
+	}
+	j, lo, hi := i, start, end
+	for j < n && ivs[j].start <= end {
+		iv := ivs[j]
+		if oLo, oHi := max64(iv.start, start), min64(iv.end, end); oHi > oLo {
+			newBytes -= oHi - oLo
 		}
+		if iv.start < lo {
+			lo = iv.start
+		}
+		if iv.end > hi {
+			hi = iv.end
+		}
+		j++
 	}
-	if !placed {
-		out = append(out, interval{start, end})
+
+	if i == j {
+		// No overlap: open a one-slot gap at i.
+		ivs = append(ivs, interval{})
+		copy(ivs[i+1:], ivs[i:])
+		ivs[i] = interval{lo, hi}
+	} else {
+		// Collapse the run into a single merged interval.
+		ivs[i] = interval{lo, hi}
+		ivs = append(ivs[:i+1], ivs[j:]...)
 	}
-	s.ivs = out
+	s.ivs = ivs
 	return newBytes
 }
 

@@ -44,7 +44,7 @@ type Receiver struct {
 	rcvNxt   int64
 	ooo      intervalSet // sorted, disjoint, all > rcvNxt
 	pending  int
-	delEvent *sim.Event
+	delTimer sim.Timer
 
 	// ceEcho latches ECN echo: once a CE is seen, ECE is set on ACKs until
 	// the sender's CWR is observed (simplified: until one full ACK sent).
@@ -70,6 +70,12 @@ func NewReceiver(eng *sim.Engine, dst *netem.Node, cfg ReceiverConfig) *Receiver
 	dst.Register(cfg.Key, r)
 	return r
 }
+
+// recvDelAck is the delayed-ACK timer handler: a named pointer type over
+// Receiver so arming the timer allocates no closure.
+type recvDelAck Receiver
+
+func (h *recvDelAck) OnEvent(any) { (*Receiver)(h).sendAck(false) }
 
 // RcvNxt returns the next expected byte (cumulative ACK point).
 func (r *Receiver) RcvNxt() int64 { return r.rcvNxt }
@@ -113,8 +119,8 @@ func (r *Receiver) Deliver(p *packet.Packet) {
 		r.pending++
 		if r.pending >= r.cfg.DelAckCount || r.ooo.len() > 0 {
 			r.sendAck(false)
-		} else if r.delEvent == nil || r.delEvent.Cancelled() {
-			r.delEvent = r.eng.Schedule(r.cfg.DelAckTimeout, func() { r.sendAck(false) })
+		} else if !r.delTimer.Pending() {
+			r.eng.ArmTimer(&r.delTimer, r.cfg.DelAckTimeout, (*recvDelAck)(r), nil)
 		}
 	}
 }
@@ -127,14 +133,14 @@ func (r *Receiver) mergeOOO() {
 		}
 		i++
 	}
-	r.ooo.ivs = r.ooo.ivs[i:]
+	// Slide the survivors down in place (rather than reslicing forward)
+	// so the backing array's capacity is retained for future arrivals.
+	n := copy(r.ooo.ivs, r.ooo.ivs[i:])
+	r.ooo.ivs = r.ooo.ivs[:n]
 }
 
 func (r *Receiver) sendAck(dup bool) {
-	if r.delEvent != nil {
-		r.eng.Cancel(r.delEvent)
-		r.delEvent = nil
-	}
+	r.eng.StopTimer(&r.delTimer)
 	r.pending = 0
 	flags := packet.FlagACK
 	if r.ceEcho {
