@@ -7,6 +7,7 @@
 //
 //	cebinae-sim -bw 100M -buffer 850 -flows newreno:16,cubic:1 -rtt 50ms -qdisc cebinae -duration 30s
 //	cebinae-sim -bw 1G -buffer 4200 -flows newreno:128,bbr:1 -rtt 50ms -qdisc fifo -duration 10s
+//	cebinae-sim -backbone 100000 -duration 400ms -shards 4   # 1e5-flow replay tier
 package main
 
 import (
@@ -31,8 +32,16 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 		tau      = flag.Float64("tau", -1, "override Cebinae τ (fraction; -1 = default 0.01)")
 		shards   = flag.Int("shards", 1, "engines for the run (conservative parallel sharding; a dumbbell uses at most 2)")
+		backbone = flag.Int("backbone", 0, "run the backbone replay tier with this many standing flows (e.g. 100000) instead of the TCP dumbbell")
 	)
 	flag.Parse()
+
+	if *backbone > 0 {
+		if err := runBackbone(*backbone, *qdisc, *duration, *seed, *shards); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	s, err := buildScenario(*bw, *buffer, *flows, *rtt, *qdisc, *duration, *seed, *tau, *shards)
 	if err != nil {
@@ -56,6 +65,39 @@ func main() {
 		fmt.Printf("cebinae: %d rotations, %d recomputes, %d phase changes, %d delayed, %d LBF drops, %d buffer drops, %d ECN marks\n",
 			st.Rotations, st.Recomputes, st.PhaseChanges, st.Delayed, st.LBFDrops, st.BufferDrops, st.ECNMarked)
 	}
+}
+
+// runBackbone drives the replay scale tier from the CLI: the canonical
+// tier for the requested standing population, with the horizon, core
+// discipline, seed, and shard count taken from the shared flags.
+func runBackbone(flows int, qdisc string, duration time.Duration, seed uint64, shards int) error {
+	if shards < 1 {
+		return fmt.Errorf("bad -shards %d (want >= 1)", shards)
+	}
+	cfg := experiments.BackboneTier(flows, experiments.Full)
+	switch k := experiments.QdiscKind(qdisc); k {
+	case experiments.FIFO, experiments.Cebinae:
+		cfg.Qdisc = k
+	default:
+		return fmt.Errorf("backbone cores support fifo and cebinae only, not %q", qdisc)
+	}
+	cfg.Duration = experiments.SimTime(duration.Nanoseconds())
+	cfg.Trace.Duration = cfg.Duration
+	cfg.Trace.Seed = seed
+	cfg.Shards = shards
+	if err := cfg.Trace.Validate(); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	r := experiments.RunBackbone(cfg)
+	elapsed := time.Since(start)
+
+	fmt.Print(r.Render())
+	wallSecs := elapsed.Seconds()
+	fmt.Printf("wall: %v (%.0f events/s, %.0f flows/s)\n",
+		elapsed.Round(time.Millisecond), float64(r.Events)/wallSecs, float64(r.Finished)/wallSecs)
+	return nil
 }
 
 // buildScenario turns the CLI flags into a runnable Scenario; every

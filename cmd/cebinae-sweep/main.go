@@ -9,6 +9,7 @@
 //	cebinae-sweep -scales quick,medium -p 8
 //	cebinae-sweep -qdiscs fifo,cebinae -thresholds 1,5,25 -flows vegas:16,newreno:1
 //	cebinae-sweep -resume -store sweep.jsonl       # finish an interrupted grid
+//	cebinae-sweep -backbone 20000,100000           # replay scale tiers × {fifo,cebinae}
 //
 // Progress and timing go to stderr; the text table goes to stdout; the
 // JSONL store and CSV summary go to -store / -csv.
@@ -42,6 +43,7 @@ func main() {
 		parallel   = flag.Int("p", 0, "worker pool size (0 = GOMAXPROCS)")
 		shards     = flag.Int("shards", 1, "engines per grid cell (conservative parallel sharding); the worker pool is divided by this")
 		timeout    = flag.Duration("timeout", 0, "per-job wall-clock watchdog (0 = none), e.g. 10m")
+		backbone   = flag.String("backbone", "", "comma list of standing-flow tiers (e.g. 20000,100000): sweep the backbone replay grid (tiers × qdiscs) instead of the dumbbell family")
 		storePath  = flag.String("store", "sweep.jsonl", "JSONL result store (one line per completed grid cell)")
 		resume     = flag.Bool("resume", false, "reuse an existing store, skipping its completed cells")
 		csvPath    = flag.String("csv", "sweep.csv", "CSV summary path (empty = skip)")
@@ -59,6 +61,13 @@ func main() {
 		fatal(fmt.Errorf("bad -shards %d (want >= 1)", *shards))
 	}
 	experiments.SetDefaultShards(*shards)
+
+	if *backbone != "" {
+		if err := runBackboneSweep(*backbone, *qdiscs, *scales, *parallel, *shards, *timeout, *storePath, *resume, *csvPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg := def
 	cfg.BufferBytes = *buffer * 1500
@@ -133,6 +142,104 @@ func main() {
 	if sum.Failed > 0 {
 		fatal(fmt.Errorf("%d grid cell(s) failed — inspect %s", sum.Failed, *storePath))
 	}
+}
+
+// runBackboneSweep is the -backbone grid: standing-flow tiers × core
+// disciplines through the replay scale tier, same checkpoint/resume and
+// CSV plumbing as the dumbbell sweep. Only fifo and cebinae exist at the
+// backbone core, so when -qdiscs is left at its dumbbell default the grid
+// uses both rather than erroring on fq.
+func runBackboneSweep(tiers, qdiscs, scales string, parallel, shards int, timeout time.Duration, storePath string, resume bool, csvPath string) error {
+	flows, err := parseTiers(tiers)
+	if err != nil {
+		return err
+	}
+	qdiscsSet := false
+	flag.Visit(func(f *flag.Flag) { qdiscsSet = qdiscsSet || f.Name == "qdiscs" })
+	if !qdiscsSet {
+		qdiscs = "fifo,cebinae"
+	}
+	kinds, err := parseQdiscs(qdiscs)
+	if err != nil {
+		return err
+	}
+	for _, k := range kinds {
+		if k != experiments.FIFO && k != experiments.Cebinae {
+			return fmt.Errorf("backbone cores support fifo and cebinae only, not %q", k)
+		}
+	}
+	scaleList, err := parseScales(scales)
+	if err != nil {
+		return err
+	}
+	if len(scaleList) != 1 {
+		return fmt.Errorf("the backbone grid takes exactly one scale, got %d", len(scaleList))
+	}
+
+	if !resume {
+		if _, err := os.Stat(storePath); err == nil {
+			return fmt.Errorf("store %s already exists; pass -resume to continue it or remove it for a fresh sweep", storePath)
+		}
+	}
+	store, err := fleet.OpenStore(storePath)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	jobs := experiments.BackboneSweepJobs(flows, kinds, scaleList[0])
+	fmt.Fprintf(os.Stderr, "cebinae-sweep: %d backbone cells (%d already in %s)\n", len(jobs), store.Len(), storePath)
+	start := time.Now()
+	sum, err := fleet.Run(jobs, fleet.Options{
+		Parallelism: parallel,
+		CoresPerJob: shards,
+		Timeout:     timeout,
+		Store:       store,
+		Progress:    os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+
+	rows, err := experiments.DecodeBackboneSweep(sum.Results)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderBackboneSweep(rows))
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteBackboneSweepCSV(f, rows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "cebinae-sweep: %v elapsed for %v of simulation work — %.2fx vs sequential; JSONL %s\n",
+		time.Since(start).Round(time.Millisecond), sum.Work.Round(time.Millisecond), sum.Speedup(), storePath)
+	if sum.Failed > 0 {
+		return fmt.Errorf("%d backbone cell(s) failed — inspect %s", sum.Failed, storePath)
+	}
+	return nil
+}
+
+// parseTiers reads the -backbone flag: a comma list of positive
+// standing-flow populations.
+func parseTiers(s string) ([]int, error) {
+	var flows []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -backbone tier %q (want positive flow counts)", part)
+		}
+		flows = append(flows, v)
+	}
+	return flows, nil
 }
 
 func parseQdiscs(s string) ([]experiments.QdiscKind, error) {

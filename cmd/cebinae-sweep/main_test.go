@@ -107,3 +107,18 @@ func TestParseGroups(t *testing.T) {
 		}
 	}
 }
+
+func TestParseTiers(t *testing.T) {
+	got, err := parseTiers("20000, 100000,1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 20000 || got[1] != 100000 || got[2] != 1000000 {
+		t.Fatalf("parsed %v", got)
+	}
+	for _, bad := range []string{"", "x", "0", "-5", "1e5"} {
+		if _, err := parseTiers(bad); err == nil {
+			t.Fatalf("tier list %q accepted", bad)
+		}
+	}
+}

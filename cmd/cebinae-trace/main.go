@@ -8,14 +8,17 @@
 //	cebinae-trace -stats                         # trace shape only
 //	cebinae-trace -stages 2 -slots 2048 -interval 50ms -trials 20
 //	cebinae-trace -flows-per-min 1e6 -duration 2s -stats
+//	cebinae-trace -replay -standing 100000 -duration 400ms   # drive the trace live
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"cebinae/experiments"
 	"cebinae/internal/hhcache"
 	"cebinae/internal/packet"
 	"cebinae/internal/sim"
@@ -30,6 +33,8 @@ func main() {
 		alpha       = flag.Float64("alpha", 1.2, "Pareto tail index of flow sizes")
 		seed        = flag.Uint64("seed", 1, "base seed")
 		statsOnly   = flag.Bool("stats", false, "print trace statistics and exit")
+		replayRun   = flag.Bool("replay", false, "drive the trace live through a replay.Source and a Cebinae core instead of evaluating offline")
+		standing    = flag.Int("standing", 0, "standing flows at t=0 for -replay (0 = pure Poisson churn)")
 
 		stages   = flag.Int("stages", 2, "cache stages")
 		slots    = flag.Int("slots", 2048, "cache slots per stage (power of two)")
@@ -45,6 +50,14 @@ func main() {
 	cfg.LinkBps = *linkBps * 1e9
 	cfg.ParetoAlpha = *alpha
 	cfg.Seed = *seed
+
+	if *replayRun {
+		if err := runReplay(os.Stdout, cfg, *standing, *linkBps*1e9); err != nil {
+			fmt.Fprintln(os.Stderr, "cebinae-trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	pkts := trace.Generate(cfg)
 	agg := trace.Aggregate(pkts, 0, cfg.Duration)
@@ -136,4 +149,32 @@ func main() {
 	}
 	fmt.Printf("cache %d×%d @ %v over %d trials: FPR=%.6f FNR=%.4f\n",
 		*stages, *slots, *interval, *trials, fpr, fnr)
+}
+
+// runReplay sends the generated schedule through the live backbone path:
+// the same -flows-per-min/-duration/-alpha/-seed trace shape, but replayed
+// packet by packet through a Cebinae core at the modelled link rate rather
+// than aggregated offline.
+func runReplay(w io.Writer, tc trace.Config, standing int, coreBps float64) error {
+	bb := experiments.BackboneTier(max(standing, 1), experiments.Full)
+	bb.Name = "trace-replay"
+	bb.Flows = standing
+	bb.CoreBps = coreBps
+	bb.AccessBps = 4 * coreBps
+	bb.Duration = tc.Duration
+	bb.Trace = tc
+	bb.Trace.StandingFlows = standing
+	bb.Trace.LifetimeScale = float64(standing) / 2000
+	bb.Trace.LinkBps = 0 // no offline thinning: the replay loop paces live
+	if err := bb.Trace.Validate(); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	r := experiments.RunBackbone(bb)
+	elapsed := time.Since(start)
+
+	fmt.Fprint(w, r.Render())
+	fmt.Fprintf(w, "wall: %v (%.0f events/s)\n", elapsed.Round(time.Millisecond), float64(r.Events)/elapsed.Seconds())
+	return nil
 }

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"cebinae/internal/sim"
+	"cebinae/internal/trace"
+)
+
+// TestRunReplaySmoke drives a small trace through the live replay path the
+// -replay flag selects: the -flows-per-min / -duration / -seed shape must
+// come out the far side as delivered packets and a rendered report.
+func TestRunReplaySmoke(t *testing.T) {
+	cfg := trace.DefaultConfig()
+	cfg.FlowsPerMinute = 120000
+	cfg.Duration = sim.Duration(40e6) // 40 ms
+	cfg.Seed = 3
+
+	var out strings.Builder
+	if err := runReplay(&out, cfg, 500, 10e9); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"trace-replay", "500 standing flows", "peak 500 concurrent", "wall:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("replay output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunReplayRejectsBadTrace: invalid trace flags must surface the
+// validation error, not a panic from the runner.
+func TestRunReplayRejectsBadTrace(t *testing.T) {
+	cfg := trace.DefaultConfig()
+	cfg.MinFlowBytes = 0
+
+	var out strings.Builder
+	if err := runReplay(&out, cfg, 100, 10e9); err == nil {
+		t.Fatal("zero MinFlowBytes accepted")
+	}
+}

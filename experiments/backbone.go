@@ -1,0 +1,413 @@
+package experiments
+
+// The backbone scenario family is the paper's Fig.-13 regime run live: a
+// 10 Gbps core carrying a CAIDA-like flow population (10⁵–10⁶ standing
+// flows plus >400k flows/min of churn) through a Cebinae switch. Flows are
+// driven by internal/replay — compact paced senders, not TCP state
+// machines — which is what makes the million-flow tier a benchmark row
+// instead of a slogan. The run stress-tests the cardinality-sensitive
+// components at real cardinality: the heavy-hitter cache (recall of the
+// true top-K), the count-min sketch (overestimate bias, never-undercount
+// invariant), and the max-min allocator (water-filling over every observed
+// flow).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cebinae/internal/cmsketch"
+	"cebinae/internal/core"
+	"cebinae/internal/hhcache"
+	"cebinae/internal/maxmin"
+	"cebinae/internal/netem"
+	"cebinae/internal/packet"
+	"cebinae/internal/qdisc"
+	"cebinae/internal/replay"
+	"cebinae/internal/shard"
+	"cebinae/internal/sim"
+	"cebinae/internal/trace"
+)
+
+// BackboneConfig parameterises one backbone run.
+type BackboneConfig struct {
+	Name string
+	// Flows is the standing population target (flows in progress at t=0).
+	Flows int
+	// CoreBps / CoreDelay describe the bottleneck core link; AccessBps
+	// the edge links feeding it.
+	CoreBps   float64
+	CoreDelay SimTime
+	AccessBps float64
+	// BufferBytes sizes the core egress buffer.
+	BufferBytes int
+	Duration    SimTime
+	// Qdisc selects the core discipline: Cebinae or FIFO.
+	Qdisc QdiscKind
+	// ClosedLoop enables the replay congestion loop (drops and CE marks
+	// slow senders down — required for Cebinae's tax to bite).
+	ClosedLoop bool
+	// Trace is the flow schedule generator configuration.
+	Trace trace.Config
+	// Sketch / cache geometry for the cardinality stress instrumentation.
+	SketchRows  int
+	SketchCols  int
+	CacheStages int
+	CacheSlots  int
+	// TopK is the heavy-hitter set size scored for recall.
+	TopK int
+	// Shards partitions the run (0 = package default); the dumbbell-like
+	// chain has one shardable boundary, the core link.
+	Shards int
+}
+
+// BackboneTier returns the canonical configuration for a standing
+// population of `flows` (1e5 and 1e6 are the named tiers). The trace's
+// LifetimeScale is set by Little's law: with the default churn rate and
+// millisecond lifetimes the standing population would collapse within a
+// few ms of t=0, so lifetimes stretch proportionally to the target
+// population and the population stays near `flows` for the whole window.
+func BackboneTier(flows int, scale Scale) BackboneConfig {
+	//lint:ignore simtime the horizon is a scale fraction of 400 ms (« 2^53 ns); sub-nanosecond rounding of a run length is immaterial
+	dur := SimTime(float64(Seconds(0.4)) * float64(scale))
+	if dur < Millis(40) {
+		dur = Millis(40)
+	}
+	tc := trace.DefaultConfig()
+	tc.Duration = dur
+	tc.StandingFlows = flows
+	tc.LifetimeScale = float64(flows) / 2000
+	tc.LinkBps = 0 // no offline thinning: the replay loop paces live
+	tc.Seed = 1
+	return BackboneConfig{
+		Name:        fmt.Sprintf("backbone-%dk", flows/1000),
+		Flows:       flows,
+		CoreBps:     10e9,
+		CoreDelay:   Millis(2),
+		AccessBps:   40e9,
+		BufferBytes: 8 << 20,
+		Duration:    dur,
+		Qdisc:       Cebinae,
+		ClosedLoop:  true,
+		Trace:       tc,
+		SketchRows:  4,
+		SketchCols:  1 << 16,
+		CacheStages: 2,
+		CacheSlots:  2048,
+		TopK:        64,
+	}
+}
+
+// BackboneResult aggregates one backbone run.
+type BackboneResult struct {
+	Config BackboneConfig
+
+	// Flow population.
+	FlowsSeen  int // unique flows observed at the core
+	Started    uint64
+	Finished   uint64
+	PeakActive int
+
+	// Core link.
+	SentPackets    uint64
+	CoreTxPackets  uint64
+	CoreTxBytes    uint64
+	CoreDropPkts   uint64
+	UtilizationPct float64
+
+	// Closed loop.
+	SinkPackets uint64
+	LostBytes   uint64
+	CEMarks     uint64
+	Feedbacks   uint64
+	RateCuts    uint64
+
+	// Cebinae internals (zero for FIFO cores).
+	CebStats core.Stats
+
+	// Cardinality stress scores.
+	CacheRecallTopK        float64
+	CacheOccupied          int
+	SketchOverestimatePct  float64 // mean relative overestimate on true top-K
+	SketchUnderestimates   int     // count-min must never undercount: 0
+	MaxMinFlows            int
+	MaxMinFairShareBps     float64
+	MaxMinSumBps           float64
+	MaxMinSaturatedDemands int
+
+	Events uint64
+}
+
+// backboneObserver taps the core device's transmit hook: the exact packet
+// stream the control plane of a core switch would see. It feeds the sketch
+// and cache under test and keeps exact per-flow truth for scoring.
+type backboneObserver struct {
+	sketch *cmsketch.Sketch
+	cache  *hhcache.Cache
+	truth  map[packet.FlowKey]int64
+}
+
+func (o *backboneObserver) observe(p *packet.Packet) {
+	if p.PayloadSize <= 0 {
+		return // feedback headers are not flow traffic
+	}
+	sz := int64(p.Size)
+	o.sketch.Add(p.Flow, sz)
+	o.cache.Observe(p.Flow, sz)
+	o.truth[p.Flow] += sz
+}
+
+// backbonePoller drains the stress cache every interval on the core
+// shard's engine — the control plane's poll-and-reset loop — merging each
+// round's entries into the set of flows the cache ever reported. Without
+// the resets a HashPipe cache saturates with the first arrivals and the
+// recall score measures slot ownership, not detection.
+type backbonePoller struct {
+	timer    sim.Timer
+	eng      *sim.Engine
+	cache    *hhcache.Cache
+	interval sim.Time
+	held     map[packet.FlowKey]bool
+	peakOcc  int
+}
+
+func (b *backbonePoller) OnEvent(any) {
+	b.poll()
+	b.eng.ArmTimer(&b.timer, b.interval, b, nil)
+}
+
+func (b *backbonePoller) poll() {
+	for _, e := range b.cache.Poll() {
+		b.held[e.Flow] = true
+	}
+	if occ := b.cache.Stats().Occupied; occ > b.peakOcc {
+		b.peakOcc = occ
+	}
+}
+
+// RunBackbone executes one backbone scenario.
+func RunBackbone(cfg BackboneConfig) BackboneResult {
+	if err := cfg.Trace.Validate(); err != nil {
+		panic(err)
+	}
+	schedule := trace.Flows(cfg.Trace)
+
+	// Chain: src — sw1 ═(core)═ sw2 — dst, partitioned only at the core
+	// link (the dumbbell cut): src+sw1 on the first shard, sw2+dst on the
+	// last. The access links deliberately stay uncut — at 40 Gbps a packet
+	// serialises every ~150 ns, so at 10⁵-flow density a cut access link
+	// systematically produces same-nanosecond ties between injected
+	// arrivals and the core queue's own events, exactly the residual
+	// tie-break freedom the conservative scheme cannot order identically
+	// to a single engine (see the internal/shard package doc); the core
+	// link's 2 ms delay and 10 Gbps serialisation keep its cut tie-free in
+	// practice. Shard counts beyond 2 clamp to this partition.
+	cl := shard.NewCluster(effectiveShards(cfg.Shards, 4))
+	n := cl.Shards()
+	src := cl.NodeOn(0, "src")
+	sw1 := cl.NodeOn(0, "sw1")
+	sw2 := cl.NodeOn(n-1, "sw2")
+	dst := cl.NodeOn(n-1, "dst")
+
+	edge := func() netem.Qdisc { return qdisc.NewFIFO(64 << 20) }
+	access := netem.LinkConfig{RateBps: cfg.AccessBps, Delay: sim.Duration(200e3), QdiscFactory: edge}
+	srcFwd, srcRev := cl.Connect(src, sw1, access)
+	coreFwd, coreRev := cl.Connect(sw1, sw2, netem.LinkConfig{RateBps: cfg.CoreBps, Delay: cfg.CoreDelay, QdiscFactory: edge})
+	dstFwd, dstRev := cl.Connect(sw2, dst, access)
+
+	// The core egress discipline under test, on the engine that owns it.
+	var cq *core.Qdisc
+	if cfg.Qdisc == Cebinae {
+		rtt := 2 * (cfg.CoreDelay + 2*sim.Duration(200e3))
+		cq = core.New(coreFwd.Node().Engine(), cfg.CoreBps, cfg.BufferBytes, core.DefaultParams(cfg.CoreBps, cfg.BufferBytes, rtt))
+		cq.OnDrain = coreFwd.Kick
+		coreFwd.SetQdisc(cq)
+	} else {
+		coreFwd.SetQdisc(qdisc.NewFIFO(cfg.BufferBytes))
+	}
+
+	// Forward route src→dst and the reverse feedback path dst→src.
+	src.AddRoute(dst.ID, srcFwd)
+	sw1.AddRoute(dst.ID, coreFwd)
+	sw2.AddRoute(dst.ID, dstFwd)
+	dst.AddRoute(src.ID, dstRev)
+	sw2.AddRoute(src.ID, coreRev)
+	sw1.AddRoute(src.ID, srcRev)
+
+	obs := &backboneObserver{
+		sketch: cmsketch.New(cfg.SketchRows, cfg.SketchCols),
+		cache:  hhcache.New(cfg.CacheStages, cfg.CacheSlots),
+		truth:  make(map[packet.FlowKey]int64, cfg.Flows),
+	}
+	coreFwd.OnTransmit = obs.observe
+
+	// Control-plane polling at a quarter of the run — the cadence, like
+	// the cache itself, lives on the engine that owns the core device.
+	poller := &backbonePoller{
+		eng:      coreFwd.Node().Engine(),
+		cache:    obs.cache,
+		interval: cfg.Duration / 4,
+		held:     make(map[packet.FlowKey]bool),
+	}
+	poller.eng.ArmTimer(&poller.timer, poller.interval, poller, nil)
+
+	source := replay.NewSource(src, schedule, replay.Config{
+		To:          dst.ID,
+		PacketBytes: cfg.Trace.MeanPacketBytes,
+		ClosedLoop:  cfg.ClosedLoop,
+		ECN:         cfg.ClosedLoop,
+	})
+	sink := replay.NewSink(dst, replay.SinkConfig{ClosedLoop: cfg.ClosedLoop})
+
+	cl.Run(cfg.Duration)
+
+	res := BackboneResult{
+		Config:        cfg,
+		FlowsSeen:     len(obs.truth),
+		Started:       source.Stats.Started,
+		Finished:      source.Stats.Finished,
+		PeakActive:    source.Stats.PeakActive,
+		SentPackets:   source.Stats.SentPackets,
+		CoreTxPackets: coreFwd.Stats.TxPackets,
+		CoreTxBytes:   coreFwd.Stats.TxBytes,
+		CoreDropPkts:  coreFwd.Stats.DropPackets,
+		SinkPackets:   sink.Stats.Packets,
+		LostBytes:     sink.Stats.LostBytes,
+		CEMarks:       sink.Stats.CEMarks,
+		Feedbacks:     source.Stats.Feedbacks,
+		RateCuts:      source.Stats.RateCuts,
+		Events:        cl.Processed(),
+	}
+	if cq != nil {
+		res.CebStats = cq.Stats
+		// Cebinae owns the core's drop accounting (past-tail drops happen
+		// at enqueue, inside the qdisc).
+		res.CoreDropPkts = res.CebStats.BufferDrops + res.CebStats.LBFDrops
+	}
+	res.UtilizationPct = 100 * float64(res.CoreTxBytes*8) / (cfg.CoreBps * cfg.Duration.Seconds())
+	poller.poll() // final partial round
+	scoreBackbone(&res, obs, poller, cfg)
+	return res
+}
+
+// scoreBackbone computes the cardinality-stress scores from the observer's
+// ground truth: cache recall on the true top-K, sketch bias on the same
+// set, and the ideal water-filling allocation over every observed flow.
+func scoreBackbone(res *BackboneResult, obs *backboneObserver, poller *backbonePoller, cfg BackboneConfig) {
+	if len(obs.truth) == 0 {
+		return
+	}
+	truth := make([]trace.FlowCount, 0, len(obs.truth))
+	for f, b := range obs.truth {
+		truth = append(truth, trace.FlowCount{Flow: f, Bytes: b})
+	}
+	sort.Slice(truth, func(i, j int) bool {
+		if truth[i].Bytes != truth[j].Bytes {
+			return truth[i].Bytes > truth[j].Bytes
+		}
+		return truth[i].Flow.Hash(0) < truth[j].Flow.Hash(0)
+	})
+
+	k := cfg.TopK
+	if k > len(truth) {
+		k = len(truth)
+	}
+
+	// Cache recall: how many of the true top-K the polled cache ever
+	// reported across the control-plane rounds.
+	res.CacheOccupied = poller.peakOcc
+	hit := 0
+	for _, fc := range truth[:k] {
+		if poller.held[fc.Flow] {
+			hit++
+		}
+	}
+	if k > 0 {
+		res.CacheRecallTopK = float64(hit) / float64(k)
+	}
+
+	// Sketch bias on the true top-K; estimates below truth violate the
+	// count-min invariant and are counted, never averaged away.
+	var overSum float64
+	for _, fc := range truth[:k] {
+		est := obs.sketch.Estimate(fc.Flow)
+		if est < fc.Bytes {
+			res.SketchUnderestimates++
+			continue
+		}
+		overSum += float64(est-fc.Bytes) / float64(fc.Bytes)
+	}
+	if n := k - res.SketchUnderestimates; n > 0 {
+		res.SketchOverestimatePct = 100 * overSum / float64(n)
+	}
+
+	// Ideal max-min over the observed flow set: one shared link, each
+	// flow's demand its achieved mean rate. The water level is the fair
+	// share an omniscient allocator would give the unconstrained flows.
+	net := &maxmin.Network{
+		Capacity: []float64{cfg.CoreBps},
+		Routes:   make([][]int, len(truth)),
+		Demand:   make([]float64, len(truth)),
+	}
+	secs := cfg.Duration.Seconds()
+	for i, fc := range truth {
+		net.Routes[i] = []int{0}
+		net.Demand[i] = float64(fc.Bytes*8) / secs
+	}
+	rates, err := maxmin.Allocate(net)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: backbone max-min: %v", err))
+	}
+	res.MaxMinFlows = len(rates)
+	for i, r := range rates {
+		res.MaxMinSumBps += r
+		if r > res.MaxMinFairShareBps {
+			res.MaxMinFairShareBps = r
+		}
+		if r >= net.Demand[i] {
+			res.MaxMinSaturatedDemands++
+		}
+	}
+}
+
+// Render prints the backbone report section (deterministic: no wall-clock,
+// no map iteration).
+func (r BackboneResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Backbone tier %s — %s core, %s, %d standing flows\n",
+		r.Config.Name, bpsLabel(r.Config.CoreBps), r.Config.Qdisc, r.Config.Flows)
+	fmt.Fprintf(&sb, "  population: %d flows seen at core, %d started, %d finished, peak %d concurrent\n",
+		r.FlowsSeen, r.Started, r.Finished, r.PeakActive)
+	fmt.Fprintf(&sb, "  core: %d pkts tx, %.1f MB, %d drops, utilization %.1f%%\n",
+		r.CoreTxPackets, float64(r.CoreTxBytes)/1e6, r.CoreDropPkts, r.UtilizationPct)
+	if r.Config.ClosedLoop {
+		fmt.Fprintf(&sb, "  loop: %d delivered, %.1f MB lost, %d CE, %d feedbacks, %d rate cuts\n",
+			r.SinkPackets, float64(r.LostBytes)/1e6, r.CEMarks, r.Feedbacks, r.RateCuts)
+	}
+	if r.Config.Qdisc == Cebinae {
+		fmt.Fprintf(&sb, "  cebinae: %d rotations, %d recomputes, %d delayed, %d ECN, LBF drops %d\n",
+			r.CebStats.Rotations, r.CebStats.Recomputes, r.CebStats.Delayed, r.CebStats.ECNMarked, r.CebStats.LBFDrops)
+	}
+	fmt.Fprintf(&sb, "  hhcache %dx%d: top-%d recall %.3f, peak %d slots occupied\n",
+		r.Config.CacheStages, r.Config.CacheSlots, r.Config.TopK, r.CacheRecallTopK, r.CacheOccupied)
+	fmt.Fprintf(&sb, "  cmsketch %dx%d: +%.2f%% mean overestimate on top-%d, %d underestimates\n",
+		r.Config.SketchRows, r.Config.SketchCols, r.SketchOverestimatePct, r.Config.TopK, r.SketchUnderestimates)
+	fmt.Fprintf(&sb, "  maxmin: %d flows, fair share %s, sum %s, %d demand-limited\n",
+		r.MaxMinFlows, bpsLabel(r.MaxMinFairShareBps), bpsLabel(r.MaxMinSumBps), r.MaxMinSaturatedDemands)
+	fmt.Fprintf(&sb, "  events: %d\n", r.Events)
+	return sb.String()
+}
+
+// bpsLabel formats a bit rate compactly and deterministically.
+func bpsLabel(bps float64) string {
+	switch {
+	case bps >= 1e9:
+		return fmt.Sprintf("%.2f Gbps", bps/1e9)
+	case bps >= 1e6:
+		return fmt.Sprintf("%.2f Mbps", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.2f kbps", bps/1e3)
+	default:
+		return fmt.Sprintf("%.0f bps", bps)
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// backboneTestTier is a scaled-down tier for the differential and smoke
+// tests: enough standing flows to exercise the arena across chunks and the
+// stress instrumentation, small enough to run three shard variants in a
+// normal test budget.
+func backboneTestTier() BackboneConfig {
+	cfg := BackboneTier(2000, Quick)
+	cfg.Trace.Seed = 5
+	return cfg
+}
+
+// TestBackboneShardDifferential is the backbone family's correctness gate:
+// the same tier run at 1, 2, and 4 shards must produce byte-identical
+// rendered reports and identical event counts. The partition cuts the core
+// link (deeper shard counts clamp to it — see RunBackbone on why the access
+// links stay uncut), so the replay data path and the closed-loop feedback
+// path both cross the cut, interleaving with the control-plane poll cadence
+// on the core shard.
+func TestBackboneShardDifferential(t *testing.T) {
+	cfg := backboneTestTier()
+	cfg.Shards = 1
+	want := RunBackbone(cfg)
+	ref := want.Render()
+	for _, n := range []int{2, 4} {
+		cfg.Shards = n
+		got := RunBackbone(cfg)
+		if got.Events != want.Events {
+			t.Errorf("shards=%d: event count %d, want %d (single-engine)", n, got.Events, want.Events)
+		}
+		if r := got.Render(); r != ref {
+			t.Errorf("shards=%d: report not byte-identical to single-engine run:\n--- shards=1 ---\n%s--- shards=%d ---\n%s", n, ref, n, r)
+		}
+	}
+}
+
+// TestBackboneSmoke checks the tier's substance on one run: the standing
+// population is actually concurrent, the core actually congests, the closed
+// loop actually reacts, and the cardinality instrumentation scores against
+// real truth.
+func TestBackboneSmoke(t *testing.T) {
+	cfg := backboneTestTier()
+	res := RunBackbone(cfg)
+
+	if res.PeakActive < cfg.Flows {
+		t.Errorf("peak concurrency %d below the standing population %d", res.PeakActive, cfg.Flows)
+	}
+	if res.FlowsSeen < cfg.Flows {
+		t.Errorf("core saw %d flows, want at least the standing %d", res.FlowsSeen, cfg.Flows)
+	}
+	if res.UtilizationPct <= 0 || res.UtilizationPct > 100.5 {
+		t.Errorf("implausible core utilization %.2f%%", res.UtilizationPct)
+	}
+	if res.SketchUnderestimates != 0 {
+		t.Errorf("count-min undercounted %d of the top-%d flows", res.SketchUnderestimates, cfg.TopK)
+	}
+	if res.CacheRecallTopK < 0.5 {
+		t.Errorf("polled cache recalled only %.3f of the true top-%d", res.CacheRecallTopK, cfg.TopK)
+	}
+	if res.MaxMinFlows != res.FlowsSeen {
+		t.Errorf("max-min allocated %d flows, observer saw %d", res.MaxMinFlows, res.FlowsSeen)
+	}
+	if res.MaxMinSumBps > cfg.CoreBps*1.0001 {
+		t.Errorf("max-min allocation %.0f bps exceeds core capacity %.0f", res.MaxMinSumBps, cfg.CoreBps)
+	}
+	if res.CebStats.Rotations == 0 {
+		t.Error("Cebinae core never rotated")
+	}
+	out := res.Render()
+	for _, want := range []string{"Backbone tier", "hhcache", "cmsketch", "maxmin", "events:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBackbone100kTier runs the named 1e5 tier end to end — the scale claim
+// behind the benchmark row, verified in-tree (skipped under -short).
+func TestBackbone100kTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1e5-flow tier skipped in short mode")
+	}
+	res := RunBackbone(BackboneTier(100_000, Quick))
+	if res.PeakActive < 100_000 {
+		t.Fatalf("peak concurrency %d, want >= 100000", res.PeakActive)
+	}
+	if res.Finished == 0 || res.SinkPackets == 0 {
+		t.Fatalf("tier did not run to completion: %d finished, %d delivered", res.Finished, res.SinkPackets)
+	}
+	if res.RateCuts == 0 {
+		t.Fatal("closed loop idle at 1e5 flows: no rate cuts")
+	}
+}

@@ -173,6 +173,8 @@ func BenchSections(scale Scale) []BenchSection {
 		perKindSection(pre, "ext-strawman", "[extension] §3.2 strawman vs Cebinae redistribution",
 			[]QdiscKind{FIFO, Strawman, Cebinae},
 			func(k QdiscKind) ExtStrawmanResult { return ExtStrawman(k, scale) }, RenderExtStrawman),
+		singleJobSection(pre, "backbone", "[extension] backbone tier: 1e5-flow trace replay through Cebinae @10G",
+			func() BackboneResult { return RunBackbone(BackboneTier(100_000, scale)) }, BackboneResult.Render),
 	}
 }
 

@@ -13,8 +13,8 @@ import (
 
 func TestBenchSectionsEnumerateUniqueJobs(t *testing.T) {
 	sections := BenchSections(Quick)
-	if len(sections) != 16 {
-		t.Fatalf("got %d sections, want 16", len(sections))
+	if len(sections) != 17 {
+		t.Fatalf("got %d sections, want 17", len(sections))
 	}
 	seen := map[string]bool{}
 	byID := map[string]int{}

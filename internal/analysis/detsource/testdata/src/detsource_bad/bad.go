@@ -31,3 +31,9 @@ func pick(n int) int {
 func shuffle(xs []int) {
 	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global randomness rand\.Shuffle in simulation code`
 }
+
+// Replay-shaped pacing: jittering a per-flow send gap from the global
+// source makes two runs of the same schedule diverge packet by packet.
+func paceGap(base int64) int64 {
+	return base + rand.Int63n(base/8+1) // want `global randomness rand\.Int63n in simulation code`
+}

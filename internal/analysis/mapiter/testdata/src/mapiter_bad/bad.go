@@ -82,3 +82,19 @@ func totalRate(rates map[flowKey]float64) float64 {
 	}
 	return total
 }
+
+// A replay-shaped flow record: the timer is embedded in the arena record,
+// not heap-allocated per arm.
+type replayFlow struct {
+	timer sim.Timer
+	gap   sim.Time
+}
+
+// Ranging over a map-of-flows index and arming each record's embedded
+// timer leaks visit order into the wheel's equal-instant tie-breaking —
+// the million-flow version of armTimers above.
+func paceAll(eng *sim.Engine, flows map[flowKey]*replayFlow, h sim.Handler) {
+	for _, fl := range flows { // want `map range schedules events via ArmTimer in iteration order`
+		eng.ArmTimer(&fl.timer, fl.gap, h, fl)
+	}
+}

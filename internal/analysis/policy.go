@@ -31,6 +31,7 @@ var simulationPackages = []string{
 	"cebinae/internal/core",
 	"cebinae/internal/hhcache",
 	"cebinae/internal/trace",
+	"cebinae/internal/replay",
 	"cebinae/internal/monitor",
 	"cebinae/internal/metrics",
 }

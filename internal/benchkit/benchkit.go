@@ -180,6 +180,11 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics carries the benchmark's custom b.ReportMetric values (e.g.
+	// the backbone tier's flows/s and B/flow); absent when a benchmark
+	// reports none. JSON renders map keys sorted, so the snapshot stays
+	// byte-stable.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Specs enumerates the harness's benchmarks in reporting order.
@@ -199,6 +204,7 @@ func Specs() []struct {
 		{"DumbbellE2E", DumbbellE2E},
 		{ChainSpecName(1), ChainE2EShards(1)},
 		{ChainSpecName(4), ChainE2EShards(4)},
+		{"Backbone", Backbone},
 	}
 }
 
@@ -207,13 +213,25 @@ func Specs() []struct {
 func RunAll() []Result {
 	var out []Result
 	for _, s := range Specs() {
-		r := testing.Benchmark(s.Fn)
-		out = append(out, Result{
-			Name:        s.Name,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-		})
+		out = append(out, resultOf(s.Name, testing.Benchmark(s.Fn)))
 	}
 	return out
+}
+
+// resultOf flattens one testing.BenchmarkResult into the snapshot shape,
+// carrying any b.ReportMetric extras along.
+func resultOf(name string, r testing.BenchmarkResult) Result {
+	res := Result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		res.Metrics = make(map[string]float64, len(r.Extra))
+		for unit, v := range r.Extra {
+			res.Metrics[unit] = v
+		}
+	}
+	return res
 }

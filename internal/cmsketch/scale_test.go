@@ -1,0 +1,110 @@
+package cmsketch
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"cebinae/internal/packet"
+	"cebinae/internal/sim"
+)
+
+// The scale tests load the sketch at backbone cardinality — 10⁵ distinct
+// flows through 4×65536 counters — and check the two properties the
+// backbone scoring relies on: the one-sided error guarantee holds for every
+// single flow, and the overestimate bias on the heavy hitters stays small
+// enough to rank them.
+
+const scaleFlows = 100_000
+
+func scaleKey(i int) packet.FlowKey {
+	return packet.FlowKey{
+		Src:     packet.NodeID(1 + i>>16),
+		Dst:     2,
+		SrcPort: uint16(i),
+		DstPort: uint16(i*40503) | 1,
+		Proto:   packet.ProtoTCP,
+	}
+}
+
+// scaleTruth draws bounded-Pareto per-flow volumes with a seeded generator
+// (the trace generator's skew shape, reproduced locally).
+func scaleTruth(seed uint64) []int64 {
+	rng := sim.NewRand(seed)
+	truth := make([]int64, scaleFlows)
+	ratio := math.Pow(700.0/(1<<24), 1.2)
+	for i := range truth {
+		u := rng.Float64()
+		truth[i] = int64(700 * math.Pow(1-u*(1-ratio), -1/1.2))
+	}
+	return truth
+}
+
+// TestScaleNeverUndercounts: after 10⁵ skewed flows, Estimate must be >=
+// the exact count for every one of them — the count-min invariant checked
+// exhaustively at the cardinality the backbone tier runs at.
+func TestScaleNeverUndercounts(t *testing.T) {
+	truth := scaleTruth(3)
+	s := New(4, 1<<16)
+	for i, b := range truth {
+		s.Add(scaleKey(i), b)
+	}
+	for i, b := range truth {
+		if est := s.Estimate(scaleKey(i)); est < b {
+			t.Fatalf("flow %d undercounted: estimate %d < true %d", i, est, b)
+		}
+	}
+}
+
+// TestScaleHeavyHitterBias: the mean relative overestimate across the true
+// top-64 must stay within a few percent — collisions with 10⁵ mice may
+// inflate a mouse badly, but the elephants' own mass dominates their
+// counters, which is what makes sketch-ranked heavy hitters usable.
+func TestScaleHeavyHitterBias(t *testing.T) {
+	truth := scaleTruth(9)
+	s := New(4, 1<<16)
+	for i, b := range truth {
+		s.Add(scaleKey(i), b)
+	}
+	order := make([]int, len(truth))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if truth[order[a]] != truth[order[b]] {
+			return truth[order[a]] > truth[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	const topK = 64
+	var overSum float64
+	for _, i := range order[:topK] {
+		est := s.Estimate(scaleKey(i))
+		if est < truth[i] {
+			t.Fatalf("top-%d flow %d undercounted: %d < %d", topK, i, est, truth[i])
+		}
+		overSum += float64(est-truth[i]) / float64(truth[i])
+	}
+	if mean := overSum / topK; mean > 0.05 {
+		t.Fatalf("mean relative overestimate on top-%d is %.4f, want <= 0.05", topK, mean)
+	}
+}
+
+// TestScaleDeterminism: identical 10⁵-flow loads must produce identical
+// estimates — the sketch has no hidden state or seed beyond its geometry.
+func TestScaleDeterminism(t *testing.T) {
+	load := func() *Sketch {
+		truth := scaleTruth(5)
+		s := New(4, 1<<15)
+		for i, b := range truth {
+			s.Add(scaleKey(i), b)
+		}
+		return s
+	}
+	a, b := load(), load()
+	for i := 0; i < scaleFlows; i += 97 {
+		if ea, eb := a.Estimate(scaleKey(i)), b.Estimate(scaleKey(i)); ea != eb {
+			t.Fatalf("flow %d estimates diverge: %d vs %d", i, ea, eb)
+		}
+	}
+}

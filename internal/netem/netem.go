@@ -210,6 +210,12 @@ type Node struct {
 	routes  map[packet.NodeID]*Device
 	demux   map[packet.FlowKey]Endpoint
 
+	// defaultEp, when non-nil, receives packets addressed to this node
+	// whose flow key has no demux entry — the catch-all a replay sink
+	// registers so a million concurrent flows do not need a million demux
+	// entries. Exact-key endpoints always win over the catch-all.
+	defaultEp Endpoint
+
 	// Unroutable counts packets discarded because the node had no route to
 	// their destination or no endpoint registered for their flow key.
 	Unroutable uint64
@@ -234,6 +240,14 @@ func (n *Node) AddRoute(dst packet.NodeID, dev *Device) {
 // Register attaches a transport endpoint for the given (receive-side) key.
 func (n *Node) Register(key packet.FlowKey, ep Endpoint) {
 	n.demux[key] = ep
+}
+
+// RegisterDefault attaches a catch-all endpoint that receives every packet
+// addressed to this node with no exact demux match. Per-key endpoints
+// registered with Register keep priority. Packets consumed by the default
+// endpoint do not count as Unroutable.
+func (n *Node) RegisterDefault(ep Endpoint) {
+	n.defaultEp = ep
 }
 
 // AllocPacket draws a zeroed packet from the network's free list. Senders
@@ -274,6 +288,11 @@ func (n *Node) receive(p *packet.Packet) {
 			// The endpoint consumes the packet synchronously; once
 			// Deliver returns the packet has left the network.
 			ep.Deliver(p)
+			n.net.pool.Put(p)
+			return
+		}
+		if n.defaultEp != nil {
+			n.defaultEp.Deliver(p)
 			n.net.pool.Put(p)
 			return
 		}

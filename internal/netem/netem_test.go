@@ -298,3 +298,54 @@ func (g *gatedQdisc) Dequeue() *packet.Packet {
 }
 func (g *gatedQdisc) Len() int         { return g.inner.Len() }
 func (g *gatedQdisc) BytesQueued() int { return g.inner.BytesQueued() }
+
+func TestRegisterDefaultCatchAll(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewNetwork(eng)
+	a, b := w.NewNode("a"), w.NewNode("b")
+	da, db := w.Connect(a, b, LinkConfig{RateBps: 8e6, Delay: 0})
+	da.SetQdisc(fifoFactory())
+	db.SetQdisc(fifoFactory())
+	a.AddRoute(b.ID, da)
+
+	exact := packet.FlowKey{Src: a.ID, Dst: b.ID, SrcPort: 1, DstPort: 2, Proto: packet.ProtoTCP}
+	other := packet.FlowKey{Src: a.ID, Dst: b.ID, SrcPort: 3, DstPort: 4, Proto: packet.ProtoTCP}
+	se := &sink{eng: eng}
+	sd := &sink{eng: eng}
+	b.Register(exact, se)
+	b.RegisterDefault(sd)
+
+	a.Inject(&packet.Packet{Flow: exact, Size: 1000, PayloadSize: 948})
+	a.Inject(&packet.Packet{Flow: other, Size: 1000, PayloadSize: 948})
+	eng.RunAll()
+
+	if len(se.got) != 1 {
+		t.Fatalf("exact endpoint got %d packets, want 1 (Register must win over RegisterDefault)", len(se.got))
+	}
+	if len(sd.got) != 1 {
+		t.Fatalf("default endpoint got %d packets, want 1", len(sd.got))
+	}
+	if sd.got[0].Flow != other {
+		t.Fatalf("default endpoint saw %v, want %v", sd.got[0].Flow, other)
+	}
+	if b.Unroutable != 0 {
+		t.Fatalf("catch-all deliveries counted as unroutable: %d", b.Unroutable)
+	}
+}
+
+func TestNoDefaultEndpointStillUnroutable(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewNetwork(eng)
+	a, b := w.NewNode("a"), w.NewNode("b")
+	da, db := w.Connect(a, b, LinkConfig{RateBps: 8e6, Delay: 0})
+	da.SetQdisc(fifoFactory())
+	db.SetQdisc(fifoFactory())
+	a.AddRoute(b.ID, da)
+
+	key := packet.FlowKey{Src: a.ID, Dst: b.ID, SrcPort: 9, DstPort: 9, Proto: packet.ProtoTCP}
+	a.Inject(&packet.Packet{Flow: key, Size: 1000, PayloadSize: 948})
+	eng.RunAll()
+	if b.Unroutable != 1 {
+		t.Fatalf("unroutable = %d, want 1", b.Unroutable)
+	}
+}

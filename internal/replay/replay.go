@@ -1,0 +1,329 @@
+// Package replay turns trace-generator flow schedules into live packet
+// arrivals at a netem topology — the scale tier between the offline trace
+// evaluation (feed trace.Pkt records straight into a sketch) and full TCP
+// (a congestion-control state machine per flow). A replay.Source drives
+// 10⁵–10⁶ concurrent flows through real devices, queues, and a Cebinae
+// switch with a compact per-flow record: an embedded wheel timer, a packet
+// countdown, and a pacing gap — no scoreboard, no SACK state, no
+// per-flow goroutines or closures.
+//
+// Flow records live in a chunked arena. Embedded sim.Timers are
+// intrusively linked into the engine's timing wheel, so records must have
+// stable addresses: the arena allocates fixed-size chunks that are never
+// moved or freed, and finished flows recycle their slot through a free
+// list. The steady-state send path — timer fires, pooled packet filled and
+// injected, timer re-armed — allocates nothing.
+//
+// With Config.ClosedLoop set, the source reacts to congestion feedback
+// from a replay.Sink at the far end: the sink watches sequence numbers and
+// ECN CE marks, and on loss or marking sends a rate-limited feedback
+// packet back through the network (a real packet on the reverse route, so
+// sharded runs stay deterministic — feedback crosses cut links through the
+// same handoff machinery as data). The source doubles the flow's pacing
+// gap on each feedback and decays it multiplicatively back toward the
+// schedule rate, a deliberately minimal AIMD-flavoured loop: enough for
+// Cebinae's tax to actually slow elephants down, cheap enough to run a
+// million times over.
+package replay
+
+import (
+	"fmt"
+	"sort"
+
+	"cebinae/internal/netem"
+	"cebinae/internal/packet"
+	"cebinae/internal/sim"
+	"cebinae/internal/trace"
+)
+
+// Arena geometry: fixed chunks keep flow records at stable addresses (the
+// embedded timers are intrusively linked into the engine's wheel).
+const (
+	chunkShift = 9
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+)
+
+// minCutGap is the smallest pacing gap a congestion cut enforces; it gives
+// schedule-rate-unlimited flows (gap 0) a real gap to double from.
+const minCutGap = sim.Time(1000) // 1 µs
+
+// Config parameterises a Source.
+type Config struct {
+	// To is the destination node ID every flow is rewritten towards. The
+	// schedule's synthetic node IDs are replaced with (source node, To);
+	// its port pairs — unique per flow — are kept, so flow identity
+	// survives the rewrite.
+	To packet.NodeID
+	// PacketBytes is the wire size of every emitted packet (default 700,
+	// matching trace.DefaultConfig's MeanPacketBytes). Must exceed
+	// packet.HeaderBytes.
+	PacketBytes int
+	// ClosedLoop enables rate reaction to Sink feedback: each feedback
+	// packet doubles the flow's pacing gap (bounded by MaxBackoff), and
+	// every subsequent send decays the gap back toward the schedule rate.
+	ClosedLoop bool
+	// ECN marks emitted packets ECT so an ECN-enabled qdisc can CE-mark
+	// instead of dropping.
+	ECN bool
+	// MaxBackoff bounds the closed-loop slowdown: the pacing gap never
+	// exceeds the schedule gap shifted left by MaxBackoff (default 6,
+	// i.e. at most 64× slower than scheduled).
+	MaxBackoff uint
+}
+
+// SourceStats aggregates sender-side counters.
+type SourceStats struct {
+	Started     uint64 // flows started
+	Finished    uint64 // flows that emitted their full schedule
+	Active      int    // flows currently in flight
+	PeakActive  int    // high-water mark of Active
+	SentPackets uint64
+	SentBytes   uint64
+	Feedbacks   uint64 // congestion feedback packets accepted
+	RateCuts    uint64 // pacing-gap doublings applied
+}
+
+// flowState is the compact per-flow record. The embedded Timer is
+// intrusively linked into the engine's timing wheel, so flowStates live in
+// the arena (stable addresses) and are recycled, never moved.
+type flowState struct {
+	timer   sim.Timer
+	src     *Source
+	key     packet.FlowKey
+	left    int32 // packets still to send
+	slot    int32 // arena ordinal, for the free list
+	active  bool
+	gap     sim.Time // current pacing gap
+	baseGap sim.Time // schedule-rate gap
+	maxGap  sim.Time // backoff ceiling
+	seq     int64    // next byte offset on the wire
+}
+
+type chunk [chunkSize]flowState
+
+// Source replays a flow schedule from a netem node. It is single-engine
+// state: construct it on the node's engine goroutine before the run starts
+// and read Stats after the run.
+type Source struct {
+	node     *netem.Node
+	eng      *sim.Engine
+	cfg      Config
+	schedule []trace.FlowSpec
+	next     int // first schedule entry not yet started
+
+	startTimer sim.Timer
+
+	chunks []*chunk
+	free   []int32
+	used   int
+
+	// index maps a flow's forward key to its arena slot while the flow is
+	// active — only maintained in closed-loop mode, where feedback
+	// packets must find their flow.
+	index map[packet.FlowKey]int32
+
+	Stats SourceStats
+}
+
+// NewSource attaches a replay sender to node, driving the given schedule
+// (as produced by trace.Flows: time-sorted by At). In closed-loop mode the
+// source registers itself as the node's default endpoint to receive
+// feedback packets.
+func NewSource(node *netem.Node, schedule []trace.FlowSpec, cfg Config) *Source {
+	if cfg.PacketBytes == 0 {
+		cfg.PacketBytes = 700
+	}
+	if cfg.PacketBytes <= packet.HeaderBytes {
+		panic(fmt.Sprintf("replay: PacketBytes %d must exceed the %d-byte header", cfg.PacketBytes, packet.HeaderBytes))
+	}
+	if cfg.MaxBackoff == 0 {
+		cfg.MaxBackoff = 6
+	}
+	if cfg.MaxBackoff > 20 {
+		cfg.MaxBackoff = 20
+	}
+	if cfg.To == 0 {
+		panic("replay: Config.To must name the destination node")
+	}
+	if !sort.SliceIsSorted(schedule, func(i, j int) bool { return schedule[i].At < schedule[j].At }) {
+		panic("replay: schedule must be sorted by arrival time (as trace.Flows produces)")
+	}
+	s := &Source{node: node, eng: node.Engine(), cfg: cfg, schedule: schedule}
+	if cfg.ClosedLoop {
+		s.index = make(map[packet.FlowKey]int32)
+		node.RegisterDefault(s)
+	}
+	if len(schedule) > 0 {
+		s.eng.ArmTimerAt(&s.startTimer, schedule[0].At, (*sourceStart)(s), nil)
+	}
+	return s
+}
+
+// alloc hands out a flow record with a stable address: recycled from the
+// free list, or carved from the arena (growing it a chunk at a time).
+func (s *Source) alloc() *flowState {
+	if n := len(s.free); n > 0 {
+		slot := s.free[n-1]
+		s.free = s.free[:n-1]
+		return s.at(slot)
+	}
+	if s.used == len(s.chunks)*chunkSize {
+		s.chunks = append(s.chunks, new(chunk))
+	}
+	slot := int32(s.used)
+	s.used++
+	fs := s.at(slot)
+	fs.slot = slot
+	return fs
+}
+
+func (s *Source) at(slot int32) *flowState {
+	return &s.chunks[slot>>chunkShift][slot&chunkMask]
+}
+
+// sourceStart is the Source's flow-admission event handler view.
+type sourceStart Source
+
+// OnEvent starts every schedule entry that has come due and re-arms for
+// the next arrival instant.
+func (h *sourceStart) OnEvent(any) {
+	s := (*Source)(h)
+	now := s.eng.Now()
+	for s.next < len(s.schedule) && s.schedule[s.next].At <= now {
+		s.start(&s.schedule[s.next])
+		s.next++
+	}
+	if s.next < len(s.schedule) {
+		s.eng.ArmTimerAt(&s.startTimer, s.schedule[s.next].At, h, nil)
+	}
+}
+
+func (s *Source) start(spec *trace.FlowSpec) {
+	fs := s.alloc()
+	fs.src = s
+	fs.key = packet.FlowKey{
+		Src:     s.node.ID,
+		Dst:     s.cfg.To,
+		SrcPort: spec.Key.SrcPort,
+		DstPort: spec.Key.DstPort,
+		Proto:   spec.Key.Proto,
+	}
+	npkts := int32(spec.Bytes/int64(s.cfg.PacketBytes)) + 1
+	fs.left = npkts
+	fs.seq = 0
+	fs.active = true
+	fs.baseGap = spec.Lifetime / sim.Time(npkts)
+	fs.gap = fs.baseGap
+	fs.maxGap = fs.baseGap << s.cfg.MaxBackoff
+	if floor := minCutGap << s.cfg.MaxBackoff; fs.maxGap < floor {
+		fs.maxGap = floor
+	}
+	s.Stats.Started++
+	s.Stats.Active++
+	if s.Stats.Active > s.Stats.PeakActive {
+		s.Stats.PeakActive = s.Stats.Active
+	}
+	if s.index != nil {
+		s.index[fs.key] = fs.slot
+	}
+	// The first packet goes out through the pacing timer at delay 0 — the
+	// same virtual instant, but after the whole admission burst has run.
+	// A standing population of 10⁵ flows is therefore 10⁵ live records
+	// with 10⁵ armed wheel timers before the first byte moves, not an
+	// interleaving of admissions and single-packet retirements.
+	s.eng.ArmTimer(&fs.timer, 0, tickHandler, fs)
+}
+
+// flowTick is the shared per-flow pacing-timer handler; the timer's arg
+// carries the flow record, so one stateless handler serves the whole
+// arena.
+type flowTick struct{}
+
+func (flowTick) OnEvent(arg any) { arg.(*flowState).send() }
+
+var tickHandler flowTick
+
+// send emits one packet and re-arms the pacing timer — the zero-alloc
+// steady-state path (pooled packet, embedded timer, pointer-typed arg).
+func (fs *flowState) send() {
+	s := fs.src
+	p := s.node.AllocPacket()
+	p.Flow = fs.key
+	p.Seq = fs.seq
+	p.Size = int32(s.cfg.PacketBytes)
+	p.PayloadSize = p.Size - packet.HeaderBytes
+	p.SentAt = s.eng.Now()
+	if s.cfg.ECN {
+		p.ECN = packet.ECNECT
+	}
+	fs.seq += int64(p.Size)
+	fs.left--
+	last := fs.left == 0
+	if last {
+		p.Flags |= packet.FlagFIN
+	}
+	s.node.Inject(p)
+	s.Stats.SentPackets++
+	s.Stats.SentBytes += uint64(s.cfg.PacketBytes)
+	if last {
+		s.finish(fs)
+		return
+	}
+	if fs.gap > fs.baseGap {
+		// Multiplicative decay back toward the schedule rate.
+		fs.gap = fs.baseGap + (fs.gap-fs.baseGap)*7/8
+	}
+	s.eng.ArmTimer(&fs.timer, fs.gap, tickHandler, fs)
+}
+
+func (s *Source) finish(fs *flowState) {
+	if s.index != nil {
+		delete(s.index, fs.key)
+	}
+	fs.active = false
+	s.Stats.Finished++
+	s.Stats.Active--
+	s.free = append(s.free, fs.slot)
+}
+
+// Deliver receives congestion feedback from the far-end Sink (the source
+// is its node's default endpoint in closed-loop mode): double the flow's
+// pacing gap, bounded by its backoff ceiling. The packet stays owned by
+// the network; Deliver only reads it.
+func (s *Source) Deliver(p *packet.Packet) {
+	if !p.HasFlag(packet.FlagACK) {
+		return
+	}
+	forward := p.Flow.Reverse()
+	slot, ok := s.index[forward]
+	if !ok {
+		return // flow already finished
+	}
+	fs := s.at(slot)
+	if !fs.active || fs.key != forward {
+		return // slot recycled since the feedback was sent
+	}
+	s.Stats.Feedbacks++
+	g := fs.gap * 2
+	if g < minCutGap {
+		g = minCutGap
+	}
+	if g > fs.maxGap {
+		g = fs.maxGap
+	}
+	if g > fs.gap {
+		s.Stats.RateCuts++
+	}
+	fs.gap = g
+}
+
+// Done reports whether the source has started every schedule entry and
+// every started flow has finished.
+func (s *Source) Done() bool {
+	return s.next == len(s.schedule) && s.Stats.Active == 0
+}
+
+// ResidentChunks reports the arena footprint (chunks × chunkSize records),
+// for memory accounting in benchmarks.
+func (s *Source) ResidentChunks() int { return len(s.chunks) }

@@ -137,6 +137,160 @@ func TestLinkRateThinning(t *testing.T) {
 	}
 }
 
+func TestConfigValidate(t *testing.T) {
+	mutate := func(f func(*Config)) Config {
+		cfg := DefaultConfig()
+		f(&cfg)
+		return cfg
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"default", DefaultConfig(), true},
+		{"zero duration", mutate(func(c *Config) { c.Duration = 0 }), false},
+		{"negative duration", mutate(func(c *Config) { c.Duration = -1 }), false},
+		{"zero flow rate", mutate(func(c *Config) { c.FlowsPerMinute = 0 }), false},
+		{"negative flow rate", mutate(func(c *Config) { c.FlowsPerMinute = -5 }), false},
+		{"zero rate with standing flows", mutate(func(c *Config) { c.FlowsPerMinute = 0; c.StandingFlows = 10 }), true},
+		{"zero min flow bytes", mutate(func(c *Config) { c.MinFlowBytes = 0 }), false},
+		{"negative min flow bytes", mutate(func(c *Config) { c.MinFlowBytes = -400 }), false},
+		{"max below min", mutate(func(c *Config) { c.MaxFlowBytes = c.MinFlowBytes - 1 }), false},
+		{"max equals min", mutate(func(c *Config) { c.MaxFlowBytes = c.MinFlowBytes }), true},
+		{"zero packet bytes", mutate(func(c *Config) { c.MeanPacketBytes = 0 }), false},
+		{"zero alpha", mutate(func(c *Config) { c.ParetoAlpha = 0 }), false},
+		{"alpha below lifetime exponent with standing flows", mutate(func(c *Config) { c.ParetoAlpha = 0.5; c.StandingFlows = 10 }), false},
+		{"alpha below lifetime exponent without standing flows", mutate(func(c *Config) { c.ParetoAlpha = 0.5 }), true},
+		{"negative standing flows", mutate(func(c *Config) { c.StandingFlows = -1 }), false},
+		{"negative lifetime scale", mutate(func(c *Config) { c.LifetimeScale = -2 }), false},
+		{"zero link rate", mutate(func(c *Config) { c.LinkBps = 0 }), true},
+		{"negative link rate", mutate(func(c *Config) { c.LinkBps = -1 }), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestGeneratePanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate accepted MinFlowBytes=0")
+		}
+	}()
+	cfg := smallConfig(1)
+	cfg.MinFlowBytes = 0
+	Generate(cfg)
+}
+
+func TestFlowsMatchesGenerate(t *testing.T) {
+	cfg := smallConfig(8)
+	cfg.LinkBps = 0 // disable thinning so the expansion is exact
+	want := Generate(cfg)
+	got := expand(cfg, Flows(cfg))
+	if len(want) != len(got) {
+		t.Fatalf("expansion of Flows gives %d packets, Generate gives %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("schedule expansion diverges from Generate at %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFlowsScheduleShape(t *testing.T) {
+	cfg := smallConfig(9)
+	specs := Flows(cfg)
+	if len(specs) == 0 {
+		t.Fatal("empty schedule")
+	}
+	seen := map[uint64]bool{}
+	for i, s := range specs {
+		if i > 0 && s.At < specs[i-1].At {
+			t.Fatalf("schedule not time sorted at %d", i)
+		}
+		if s.At < 0 || s.At >= cfg.Duration {
+			t.Fatalf("arrival outside window: %v", s.At)
+		}
+		if s.Bytes <= 0 || s.Lifetime < 0 {
+			t.Fatalf("degenerate spec %+v", s)
+		}
+		h := s.Key.Hash(0)
+		if seen[h] {
+			t.Fatalf("duplicate flow key at %d: %v", i, s.Key)
+		}
+		seen[h] = true
+	}
+}
+
+func TestStandingFlows(t *testing.T) {
+	cfg := smallConfig(10)
+	cfg.StandingFlows = 5000
+	specs := Flows(cfg)
+	standing := 0
+	for _, s := range specs {
+		if s.At == 0 {
+			standing++
+		}
+	}
+	if standing < cfg.StandingFlows {
+		t.Fatalf("only %d standing flows of %d requested", standing, cfg.StandingFlows)
+	}
+	// Length-biased sampling must skew the standing population heavier
+	// than the open (arrival) population: compare mean remaining size
+	// against the open population's mean full size — the bias factor
+	// (alpha vs alpha-0.55 tail) overwhelms the uniform progress discount.
+	var standingBytes, openBytes, openN float64
+	for i, s := range specs {
+		if i < cfg.StandingFlows {
+			standingBytes += float64(s.Bytes)
+		} else {
+			openBytes += float64(s.Bytes)
+			openN++
+		}
+	}
+	if openN == 0 {
+		t.Skip("no fresh arrivals in window")
+	}
+	if standingBytes/float64(cfg.StandingFlows) < openBytes/openN {
+		t.Fatalf("standing flows not length-biased: mean %v vs open mean %v",
+			standingBytes/float64(cfg.StandingFlows), openBytes/openN)
+	}
+	// Determinism of the full schedule.
+	again := Flows(cfg)
+	for i := range specs {
+		if specs[i] != again[i] {
+			t.Fatalf("schedule non-deterministic at %d", i)
+		}
+	}
+}
+
+func TestLifetimeScaleStretchesLifetimes(t *testing.T) {
+	base := smallConfig(11)
+	stretched := base
+	stretched.LifetimeScale = 50
+	a, b := Flows(base), Flows(stretched)
+	if len(a) != len(b) {
+		t.Fatalf("LifetimeScale changed the schedule length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Bytes != b[i].Bytes {
+			t.Fatalf("LifetimeScale perturbed arrivals or sizes at %d", i)
+		}
+		if a[i].Lifetime > 0 && b[i].Lifetime < 40*a[i].Lifetime {
+			t.Fatalf("lifetime not stretched at %d: %v vs %v", i, a[i].Lifetime, b[i].Lifetime)
+		}
+	}
+}
+
 func TestBoundedParetoRange(t *testing.T) {
 	rng := sim.NewRand(1)
 	for i := 0; i < 100000; i++ {
