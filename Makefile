@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race race-shard cover bench bench-smoke benchjson report sweep clean
+.PHONY: check build vet lint test race race-shard speedup-smoke cover bench bench-smoke benchjson report sweep clean
 
 check: build vet lint race
 
@@ -36,11 +36,18 @@ race:
 
 # The sharded-engine determinism gate under the race detector: the SPSC
 # handoff queues rely on barrier happens-before rather than atomics, so
-# these are the tests that catch a reintroduced data race. CI runs this
-# as its own cached job; `make race` still covers the whole tree.
+# these are the tests that catch a reintroduced data race. The experiments
+# differentials all run the min-cut auto-partitioned path (including the
+# backbone's 3-shard cut-access-link case). CI runs this as its own cached
+# job; `make race` still covers the whole tree.
 race-shard:
 	$(GO) test -race ./internal/shard
-	$(GO) test -race -run 'TestShardDifferential' ./experiments
+	$(GO) test -race -run 'TestShardDifferential|TestBackboneShardDifferential' ./experiments
+
+# Wall-clock scaling gate (needs >= 2 cores): the auto-partitioned 2-shard
+# chain spec must not run materially slower than single-engine.
+speedup-smoke:
+	CEBINAE_SPEEDUP_SMOKE=1 $(GO) test -run 'TestShardSpeedupSmoke' -v ./internal/benchkit/
 
 # Statement coverage over the library packages, gated at a ratcheted
 # minimum (raise COVER_MIN when coverage improves; never lower it). The

@@ -41,10 +41,11 @@ func main() {
 		only       = flag.String("only", "", "comma list of experiment ids to run (default: all)")
 		outPath    = flag.String("o", "", "also write the report to this file")
 		parallel   = flag.Int("p", 0, "worker pool size (0 = GOMAXPROCS)")
-		shards     = flag.Int("shards", 1, "engines per scenario (conservative parallel sharding); the worker pool is divided by this so sweeps and sharding compose")
+		shards     = flag.String("shards", "1", "engines per scenario (a count or \"auto\"; placement is min-cut partitioned); the worker pool is divided by this so sweeps and sharding compose")
 		timeout    = flag.Duration("timeout", 0, "per-job wall-clock watchdog (0 = none), e.g. 10m")
 		resume     = flag.String("resume", "", "JSONL checkpoint store path; already-completed jobs in it are skipped")
 		benchjson  = flag.String("benchjson", "", "run the perf microbenchmark suite and write results to this JSON file (skips the report)")
+		benchHeavy = flag.Bool("bench-heavy", false, "with -benchjson: also score the million-flow backbone tier (tens of seconds per op, hundreds of MB live)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -56,7 +57,7 @@ func main() {
 	}
 
 	if *benchjson != "" {
-		err = runBenchJSON(*benchjson)
+		err = runBenchJSON(*benchjson, *benchHeavy)
 	} else {
 		err = runReport(*scaleFlag, *only, *outPath, *parallel, *shards, *timeout, *resume)
 	}
@@ -116,7 +117,7 @@ type benchSnapshot struct {
 	Current  []benchkit.Result `json:"current"`
 }
 
-func runBenchJSON(path string) error {
+func runBenchJSON(path string, heavy bool) error {
 	snap := benchSnapshot{Go: runtime.Version()}
 	if old, err := os.ReadFile(path); err == nil {
 		var prev benchSnapshot
@@ -126,7 +127,7 @@ func runBenchJSON(path string) error {
 		}
 	}
 	fmt.Fprintln(os.Stderr, "cebinae-bench: running perf suite (this takes a few minutes)")
-	snap.Current = benchkit.RunAll()
+	snap.Current = benchkit.RunSuite(heavy)
 	for _, r := range snap.Current {
 		fmt.Fprintf(os.Stderr, "  %-24s %14.1f ns/op %10d B/op %8d allocs/op\n",
 			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
@@ -138,15 +139,19 @@ func runBenchJSON(path string) error {
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
-func runReport(scaleFlag, only, outPath string, parallel, shards int, timeout time.Duration, resume string) error {
+func runReport(scaleFlag, only, outPath string, parallel int, shardsFlag string, timeout time.Duration, resume string) error {
 	scale, err := parseScale(scaleFlag)
 	if err != nil {
 		return err
 	}
-	if shards < 1 {
-		return fmt.Errorf("bad -shards %d (want >= 1)", shards)
+	shards, err := experiments.ParseShards(shardsFlag)
+	if err != nil {
+		return err
 	}
 	experiments.SetDefaultShards(shards)
+	// The fleet budgets cores per job, so "auto" resolves to its concrete
+	// machine-sized count before the pool is divided.
+	shardCores := experiments.ResolvedShards(shards)
 
 	sections := experiments.BenchSections(scale)
 	if only != "" {
@@ -168,7 +173,7 @@ func runReport(scaleFlag, only, outPath string, parallel, shards int, timeout ti
 
 	opts := fleet.Options{
 		Parallelism: parallel,
-		CoresPerJob: shards,
+		CoresPerJob: shardCores,
 		Timeout:     timeout,
 		Progress:    os.Stderr,
 	}

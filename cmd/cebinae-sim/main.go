@@ -31,19 +31,24 @@ func main() {
 		duration = flag.Duration("duration", 20*time.Second, "simulated duration")
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 		tau      = flag.Float64("tau", -1, "override Cebinae τ (fraction; -1 = default 0.01)")
-		shards   = flag.Int("shards", 1, "engines for the run (conservative parallel sharding; a dumbbell uses at most 2)")
+		shards   = flag.String("shards", "1", "engines for the run (conservative parallel sharding): a count, or \"auto\" to size to the machine; placement is min-cut partitioned either way")
 		backbone = flag.Int("backbone", 0, "run the backbone replay tier with this many standing flows (e.g. 100000) instead of the TCP dumbbell")
 	)
 	flag.Parse()
 
+	nShards, err := experiments.ParseShards(*shards)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *backbone > 0 {
-		if err := runBackbone(*backbone, *qdisc, *duration, *seed, *shards); err != nil {
+		if err := runBackbone(*backbone, *qdisc, *duration, *seed, nShards); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
-	s, err := buildScenario(*bw, *buffer, *flows, *rtt, *qdisc, *duration, *seed, *tau, *shards)
+	s, err := buildScenario(*bw, *buffer, *flows, *rtt, *qdisc, *duration, *seed, *tau, nShards)
 	if err != nil {
 		fatal(err)
 	}
@@ -71,15 +76,15 @@ func main() {
 // tier for the requested standing population, with the horizon, core
 // discipline, seed, and shard count taken from the shared flags.
 func runBackbone(flows int, qdisc string, duration time.Duration, seed uint64, shards int) error {
-	if shards < 1 {
-		return fmt.Errorf("bad -shards %d (want >= 1)", shards)
-	}
 	cfg := experiments.BackboneTier(flows, experiments.Full)
 	switch k := experiments.QdiscKind(qdisc); k {
 	case experiments.FIFO, experiments.Cebinae:
 		cfg.Qdisc = k
 	default:
 		return fmt.Errorf("backbone cores support fifo and cebinae only, not %q", qdisc)
+	}
+	if shards < 1 && shards != experiments.ShardAuto {
+		return fmt.Errorf("shards wants a positive count or auto, got %d", shards)
 	}
 	cfg.Duration = experiments.SimTime(duration.Nanoseconds())
 	cfg.Trace.Duration = cfg.Duration
@@ -111,8 +116,8 @@ func buildScenario(bw string, buffer int, flows, rtt, qdisc string, duration tim
 	if err != nil {
 		return experiments.Scenario{}, err
 	}
-	if shards < 1 {
-		return experiments.Scenario{}, fmt.Errorf("bad -shards %d (want >= 1)", shards)
+	if shards < 1 && shards != experiments.ShardAuto {
+		return experiments.Scenario{}, fmt.Errorf("shards wants a positive count or auto, got %d", shards)
 	}
 	s := experiments.Scenario{
 		Name:          "cli",

@@ -41,7 +41,7 @@ func main() {
 		rtt        = flag.String("rtt", "50ms", "comma list of per-group base RTTs (one value applies to all)")
 		seed       = flag.Uint64("seed", def.Seed, "simulation seed")
 		parallel   = flag.Int("p", 0, "worker pool size (0 = GOMAXPROCS)")
-		shards     = flag.Int("shards", 1, "engines per grid cell (conservative parallel sharding); the worker pool is divided by this")
+		shards     = flag.String("shards", "1", "engines per grid cell (a count or \"auto\"; placement is min-cut partitioned); the worker pool is divided by this")
 		timeout    = flag.Duration("timeout", 0, "per-job wall-clock watchdog (0 = none), e.g. 10m")
 		backbone   = flag.String("backbone", "", "comma list of standing-flow tiers (e.g. 20000,100000): sweep the backbone replay grid (tiers × qdiscs) instead of the dumbbell family")
 		storePath  = flag.String("store", "sweep.jsonl", "JSONL result store (one line per completed grid cell)")
@@ -57,13 +57,17 @@ func main() {
 	}
 	defer stopProfiles()
 
-	if *shards < 1 {
-		fatal(fmt.Errorf("bad -shards %d (want >= 1)", *shards))
+	nShards, err := experiments.ParseShards(*shards)
+	if err != nil {
+		fatal(err)
 	}
-	experiments.SetDefaultShards(*shards)
+	experiments.SetDefaultShards(nShards)
+	// The fleet budgets cores per job, so "auto" resolves to its concrete
+	// machine-sized count before the pool is divided.
+	shardCores := experiments.ResolvedShards(nShards)
 
 	if *backbone != "" {
-		if err := runBackboneSweep(*backbone, *qdiscs, *scales, *parallel, *shards, *timeout, *storePath, *resume, *csvPath); err != nil {
+		if err := runBackboneSweep(*backbone, *qdiscs, *scales, *parallel, shardCores, *timeout, *storePath, *resume, *csvPath); err != nil {
 			fatal(err)
 		}
 		return
@@ -72,7 +76,6 @@ func main() {
 	cfg := def
 	cfg.BufferBytes = *buffer * 1500
 	cfg.Seed = *seed
-	var err error
 	if cfg.BottleneckBps, err = parseBW(*bw); err != nil {
 		fatal(err)
 	}
@@ -105,7 +108,7 @@ func main() {
 	start := time.Now()
 	sum, err := fleet.Run(jobs, fleet.Options{
 		Parallelism: *parallel,
-		CoresPerJob: *shards,
+		CoresPerJob: shardCores,
 		Timeout:     *timeout,
 		Store:       store,
 		Progress:    os.Stderr,

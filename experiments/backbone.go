@@ -24,7 +24,6 @@ import (
 	"cebinae/internal/packet"
 	"cebinae/internal/qdisc"
 	"cebinae/internal/replay"
-	"cebinae/internal/shard"
 	"cebinae/internal/sim"
 	"cebinae/internal/trace"
 )
@@ -56,8 +55,9 @@ type BackboneConfig struct {
 	CacheSlots  int
 	// TopK is the heavy-hitter set size scored for recall.
 	TopK int
-	// Shards partitions the run (0 = package default); the dumbbell-like
-	// chain has one shardable boundary, the core link.
+	// Shards partitions the run (0 = package default, ShardAuto =
+	// machine-sized); the min-cut planner places the four-node chain,
+	// cutting the core link first and the access links beyond two shards.
 	Shards int
 }
 
@@ -192,28 +192,41 @@ func RunBackbone(cfg BackboneConfig) BackboneResult {
 	}
 	schedule := trace.Flows(cfg.Trace)
 
-	// Chain: src — sw1 ═(core)═ sw2 — dst, partitioned only at the core
-	// link (the dumbbell cut): src+sw1 on the first shard, sw2+dst on the
-	// last. The access links deliberately stay uncut — at 40 Gbps a packet
-	// serialises every ~150 ns, so at 10⁵-flow density a cut access link
-	// systematically produces same-nanosecond ties between injected
-	// arrivals and the core queue's own events, exactly the residual
-	// tie-break freedom the conservative scheme cannot order identically
-	// to a single engine (see the internal/shard package doc); the core
-	// link's 2 ms delay and 10 Gbps serialisation keep its cut tie-free in
-	// practice. Shard counts beyond 2 clamp to this partition.
-	cl := shard.NewCluster(effectiveShards(cfg.Shards, 4))
-	n := cl.Shards()
-	src := cl.NodeOn(0, "src")
-	sw1 := cl.NodeOn(0, "sw1")
-	sw2 := cl.NodeOn(n-1, "sw2")
-	dst := cl.NodeOn(n-1, "dst")
-
+	// Chain: src — sw1 ═(core)═ sw2 — dst, partitioned by the min-cut
+	// planner. Two shards cut the core link ({src,sw1} | {sw2,dst}, 2 ms
+	// lookahead); three and four shards also cut the 200 µs access links.
+	// Cut access links are safe now that cross-shard injections carry
+	// their emission stamp (sim.Engine.AtCallFrom): even at 10⁵-flow
+	// density, where a 40 Gbps access link serialises a packet every
+	// ~150 ns and same-nanosecond ties between injected arrivals and the
+	// core queue's own events are systematic, the (time, emission, seq)
+	// order resolves them exactly as a single merged engine would — the
+	// differential tests assert byte-identity across all four counts.
+	type backboneTopo struct {
+		src, sw1, sw2, dst               *netem.Node
+		srcFwd, srcRev, coreFwd, coreRev *netem.Device
+		dstFwd, dstRev                   *netem.Device
+	}
 	edge := func() netem.Qdisc { return qdisc.NewFIFO(64 << 20) }
-	access := netem.LinkConfig{RateBps: cfg.AccessBps, Delay: sim.Duration(200e3), QdiscFactory: edge}
-	srcFwd, srcRev := cl.Connect(src, sw1, access)
-	coreFwd, coreRev := cl.Connect(sw1, sw2, netem.LinkConfig{RateBps: cfg.CoreBps, Delay: cfg.CoreDelay, QdiscFactory: edge})
-	dstFwd, dstRev := cl.Connect(sw2, dst, access)
+	build := func(f netem.Fabric) backboneTopo {
+		var t backboneTopo
+		n := f.Shards()
+		t.src = f.NodeOn(0, "src")
+		t.sw1 = f.NodeOn(0, "sw1")
+		t.sw2 = f.NodeOn(n-1, "sw2")
+		t.dst = f.NodeOn(n-1, "dst")
+		access := netem.LinkConfig{RateBps: cfg.AccessBps, Delay: sim.Duration(200e3), QdiscFactory: edge}
+		t.srcFwd, t.srcRev = f.Connect(t.src, t.sw1, access)
+		t.coreFwd, t.coreRev = f.Connect(t.sw1, t.sw2, netem.LinkConfig{RateBps: cfg.CoreBps, Delay: cfg.CoreDelay, QdiscFactory: edge})
+		t.dstFwd, t.dstRev = f.Connect(t.sw2, t.dst, access)
+		return t
+	}
+	cl := newCluster(cfg.Shards, func(f netem.Fabric) { build(f) })
+	topo := build(cl)
+	src, sw1, sw2, dst := topo.src, topo.sw1, topo.sw2, topo.dst
+	srcFwd, srcRev := topo.srcFwd, topo.srcRev
+	coreFwd, coreRev := topo.coreFwd, topo.coreRev
+	dstFwd, dstRev := topo.dstFwd, topo.dstRev
 
 	// The core egress discipline under test, on the engine that owns it.
 	var cq *core.Qdisc

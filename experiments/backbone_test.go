@@ -16,18 +16,21 @@ func backboneTestTier() BackboneConfig {
 }
 
 // TestBackboneShardDifferential is the backbone family's correctness gate:
-// the same tier run at 1, 2, and 4 shards must produce byte-identical
-// rendered reports and identical event counts. The partition cuts the core
-// link (deeper shard counts clamp to it — see RunBackbone on why the access
-// links stay uncut), so the replay data path and the closed-loop feedback
-// path both cross the cut, interleaving with the control-plane poll cadence
-// on the core shard.
+// the same tier run at 1, 2, 3, and 4 shards must produce byte-identical
+// rendered reports and identical event counts. The min-cut planner cuts
+// the core link at two shards and the 200 µs access links beyond that
+// (three shards co-locate src with dst and cut all three links; four give
+// every node its own shard), so the replay data path and the closed-loop
+// feedback path cross cut access links — the regime where same-nanosecond
+// ties between injected arrivals and the core queue's own events are
+// systematic and only the emission-stamped (time, emission, seq) order
+// keeps the interleaving identical to a single merged engine.
 func TestBackboneShardDifferential(t *testing.T) {
 	cfg := backboneTestTier()
 	cfg.Shards = 1
 	want := RunBackbone(cfg)
 	ref := want.Render()
-	for _, n := range []int{2, 4} {
+	for _, n := range []int{2, 3, 4} {
 		cfg.Shards = n
 		got := RunBackbone(cfg)
 		if got.Events != want.Events {

@@ -66,10 +66,12 @@ func differentialScenarios() []Scenario {
 }
 
 // TestShardDifferential is the sharded engine's correctness gate: every
-// scenario run at 1, 2, and 4 shards must produce byte-identical rendered
-// reports and identical event counts. `make race` runs this same test
-// under the race detector, which exercises the barrier protocol and the
-// SPSC handoff queues.
+// scenario run at 1, 2, 3, and 4 shards must produce byte-identical
+// rendered reports and identical event counts. Placement comes from the
+// min-cut planner, which on a dumbbell cuts the sender access links (the
+// widest window), so the comparison covers cut access links, not just the
+// bottleneck. `make race` runs this same test under the race detector,
+// which exercises the barrier protocol and the SPSC handoff queues.
 func TestShardDifferential(t *testing.T) {
 	for _, s := range differentialScenarios() {
 		s := s
@@ -77,7 +79,7 @@ func TestShardDifferential(t *testing.T) {
 			s.Shards = 1
 			want := Run(s)
 			ref := renderResult(want)
-			for _, n := range []int{2, 4} {
+			for _, n := range []int{2, 3, 4} {
 				s.Shards = n
 				got := Run(s)
 				if got.Events != want.Events {
@@ -100,7 +102,7 @@ func TestShardDifferentialParkingLot(t *testing.T) {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
 			want, wantEvents := RunParkingLotShards(kind, dur, 1)
-			for _, n := range []int{2, 4} {
+			for _, n := range []int{2, 3, 4} {
 				got, gotEvents := RunParkingLotShards(kind, dur, n)
 				if gotEvents != wantEvents {
 					t.Errorf("shards=%d: event count %d, want %d", n, gotEvents, wantEvents)

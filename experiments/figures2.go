@@ -12,7 +12,6 @@ import (
 	"cebinae/internal/packet"
 	"cebinae/internal/qdisc"
 	"cebinae/internal/resource"
-	"cebinae/internal/shard"
 	"cebinae/internal/sim"
 	"cebinae/internal/tcp"
 	"cebinae/internal/trace"
@@ -99,13 +98,12 @@ func runParkingLot(kind QdiscKind, dur sim.Time) []float64 {
 }
 
 // RunParkingLotShards runs the Fig.11 parking-lot chain partitioned
-// across `shards` engines (0 selects the package default; the 3-hop
-// chain's ceiling is 4 — one shard per switch). It returns per-flow
-// goodputs in paper order plus the total dispatched event count; both are
-// byte-identical at any shard count, which the differential regression
-// tests assert.
+// across `shards` engines (0 selects the package default, ShardAuto a
+// machine-sized count; placement comes from the min-cut planner). It
+// returns per-flow goodputs in paper order plus the total dispatched
+// event count; both are byte-identical at any shard count, which the
+// differential regression tests assert.
 func RunParkingLotShards(kind QdiscKind, dur sim.Time, shards int) ([]float64, uint64) {
-	cl := shard.NewCluster(effectiveShards(shards, 4))
 	const (
 		rate    = 100e6
 		bufMTUs = 850
@@ -123,16 +121,20 @@ func RunParkingLotShards(kind QdiscKind, dur sim.Time, shards int) ([]float64, u
 			return qdisc.NewFIFO(bufMTUs * 1500)
 		}
 	}
-	pl := netem.BuildParkingLotOn(cl, netem.ParkingLotConfig{
-		Hops:            3,
-		LongFlows:       8,
-		CrossPerHop:     []int{2, 8, 4},
-		BottleneckBps:   rate,
-		LinkDelay:       ms(5),
-		AccessDelay:     ms(5),
-		BottleneckQdisc: btlQdisc,
-		DefaultQdisc:    func() netem.Qdisc { return qdisc.NewFIFO(64 << 20) },
-	})
+	build := func(f netem.Fabric) *netem.ParkingLot {
+		return netem.BuildParkingLotOn(f, netem.ParkingLotConfig{
+			Hops:            3,
+			LongFlows:       8,
+			CrossPerHop:     []int{2, 8, 4},
+			BottleneckBps:   rate,
+			LinkDelay:       ms(5),
+			AccessDelay:     ms(5),
+			BottleneckQdisc: btlQdisc,
+			DefaultQdisc:    func() netem.Qdisc { return qdisc.NewFIFO(64 << 20) },
+		})
+	}
+	cl := newCluster(shards, func(f netem.Fabric) { build(f) })
+	pl := build(cl)
 
 	type ep struct {
 		s, r *netem.Node

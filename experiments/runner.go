@@ -9,7 +9,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync/atomic"
 
 	"cebinae/internal/core"
@@ -101,11 +103,32 @@ type Scenario struct {
 	SampleInterval sim.Time
 	// Shards partitions the simulation across that many engines (one
 	// goroutine each) with conservative time-window synchronisation; 0
-	// selects the package default (SetDefaultShards). Results are
-	// byte-identical at any shard count. A dumbbell has a single
-	// shardable boundary (the bottleneck), so values above 2 behave
-	// like 2 here; multi-bottleneck chains scale further.
+	// selects the package default (SetDefaultShards) and ShardAuto sizes
+	// the partition to the machine. Placement is computed by min-cut
+	// graph partitioning over the topology (shard.AutoPlan), which
+	// degrades gracefully when the topology cannot split as far as
+	// requested. Results are byte-identical at any shard count.
 	Shards int
+}
+
+// ShardAuto, as a Scenario.Shards / SetDefaultShards value, requests a
+// machine-sized shard count: min(GOMAXPROCS, 4). Four is the largest
+// partition the scored benchmarks pin down; beyond it barrier overhead
+// grows faster than the topologies here can amortise. Results remain
+// byte-identical whatever count "auto" resolves to on a given host.
+const ShardAuto = -1
+
+// ParseShards parses a CLI -shards value: "auto" selects ShardAuto, any
+// positive integer selects that exact count.
+func ParseShards(s string) (int, error) {
+	if s == "auto" {
+		return ShardAuto, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("experiments: -shards wants a positive integer or \"auto\", got %q", s)
+	}
+	return n, nil
 }
 
 // defaultShards is used when Scenario.Shards is zero. SetDefaultShards
@@ -116,28 +139,54 @@ type Scenario struct {
 var defaultShards atomic.Int64
 
 // SetDefaultShards sets the shard count scenarios use when their Shards
-// field is zero. Values below 1 select 1.
+// field is zero: a positive count, or ShardAuto for machine-sized
+// partitioning. Other values select 1.
 func SetDefaultShards(n int) {
-	if n < 1 {
+	if n < 1 && n != ShardAuto {
 		n = 1
 	}
 	defaultShards.Store(int64(n))
 }
 
-// effectiveShards resolves a scenario's shard count against the package
-// default and a topology-imposed ceiling.
-func effectiveShards(configured, max int) int {
+// effectiveShards resolves a configured shard count against the package
+// default and ShardAuto, returning the partition count to request from
+// the planner. The planner itself clamps to what the topology supports,
+// so no topology ceiling is applied here.
+func effectiveShards(configured int) int {
 	n := configured
-	if n <= 0 {
+	if n == 0 {
 		n = int(defaultShards.Load())
+	}
+	if n == ShardAuto {
+		n = runtime.GOMAXPROCS(0)
+		if n > 4 {
+			n = 4
+		}
 	}
 	if n < 1 {
 		n = 1
 	}
-	if n > max {
-		n = max
-	}
 	return n
+}
+
+// ResolvedShards reports the concrete engine count a configured shard
+// value resolves to on this machine — in particular what ShardAuto will
+// use — for callers that budget worker pools by cores per job.
+func ResolvedShards(configured int) int { return effectiveShards(configured) }
+
+// newCluster builds the partitioned cluster for the topology `build`
+// constructs. Every multi-shard request flows through the min-cut
+// partitioner: AutoPlan records the builder's construction trace against
+// a throwaway fabric, computes the widest-lookahead load-balanced
+// partition, and the returned cluster places the second (real) build of
+// the same topology accordingly. Single-shard requests skip the
+// recording pass.
+func newCluster(configured int, build func(netem.Fabric)) *shard.Cluster {
+	n := effectiveShards(configured)
+	if n == 1 {
+		return shard.NewCluster(1)
+	}
+	return shard.NewClusterWithPlan(shard.AutoPlan(n, build))
 }
 
 // FlowResult is one flow's measured outcome.
@@ -219,10 +268,6 @@ func Run(s Scenario) Result {
 	if s.MinRTO == 0 {
 		s.MinRTO = Seconds(1)
 	}
-	// A dumbbell has one shardable boundary — the bottleneck — so two
-	// engines (senders+SW1 | SW2+receivers) is the useful maximum.
-	cl := shard.NewCluster(effectiveShards(s.Shards, 2))
-
 	var flat []FlowGroup
 	for _, g := range s.Groups {
 		for i := 0; i < g.Count; i++ {
@@ -234,21 +279,31 @@ func Run(s Scenario) Result {
 		rtts[i] = f.RTT
 	}
 
+	// The builder runs twice on multi-shard runs: once against the
+	// planner's recording fabric and once for real, so cq must come from
+	// the last (real) pass. The min-cut plan usually cuts the sender
+	// access links rather than the bottleneck — their delay dominates
+	// whenever base RTTs exceed the 200 µs bottleneck round trip, which
+	// widens the conservative window from 100 µs to the access delay.
 	var cq *core.Qdisc
-	d := netem.BuildDumbbellOn(cl, netem.DumbbellConfig{
-		FlowCount:       len(flat),
-		BottleneckBps:   s.BottleneckBps,
-		BottleneckDelay: sim.Duration(100e3),
-		RTTs:            rtts,
-		BottleneckQdisc: func(dev *netem.Device) netem.Qdisc {
-			// The qdisc must schedule on the engine of the shard that
-			// owns the bottleneck device.
-			q, c := buildQdisc(dev.Node().Engine(), s, dev)
-			cq = c
-			return q
-		},
-		DefaultQdisc: func() netem.Qdisc { return qdisc.NewFIFO(64 << 20) },
-	})
+	build := func(f netem.Fabric) *netem.Dumbbell {
+		return netem.BuildDumbbellOn(f, netem.DumbbellConfig{
+			FlowCount:       len(flat),
+			BottleneckBps:   s.BottleneckBps,
+			BottleneckDelay: sim.Duration(100e3),
+			RTTs:            rtts,
+			BottleneckQdisc: func(dev *netem.Device) netem.Qdisc {
+				// The qdisc must schedule on the engine of the shard that
+				// owns the bottleneck device.
+				q, c := buildQdisc(dev.Node().Engine(), s, dev)
+				cq = c
+				return q
+			},
+			DefaultQdisc: func() netem.Qdisc { return qdisc.NewFIFO(64 << 20) },
+		})
+	}
+	cl := newCluster(s.Shards, func(f netem.Fabric) { build(f) })
+	d := build(cl)
 
 	meters := make([]*metrics.FlowMeter, len(flat))
 	for i, f := range flat {

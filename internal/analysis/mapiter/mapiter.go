@@ -12,6 +12,12 @@
 //     depend on visit order (the historical FQ-CoDel drop-victim bug:
 //     "pick the fattest flow" with ties broken by map order).
 //
+// Scheduling and output hazards are also followed through helpers: a call
+// inside the range body that resolves to a function or method declared in
+// the same package has its body scanned (transitively, memoized,
+// cycle-safe), so hiding eng.Schedule one hop down does not silence the
+// diagnostic — the report names the helper chain.
+//
 // The analyzer recognises the collect-then-sort idiom (append inside the
 // loop, sort.*/slices.* on the same slice after it) and does not flag it.
 // Loops whose selection is genuinely order-free because the comparison is
@@ -63,6 +69,7 @@ var fmtPrinters = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
+	h := newHelperScanner(pass)
 	for _, f := range pass.Files {
 		// enclosing tracks the innermost function body so the
 		// collect-then-sort idiom can look downstream of the loop.
@@ -84,7 +91,7 @@ func run(pass *analysis.Pass) error {
 				return false
 			case *ast.RangeStmt:
 				if isMapRange(pass, n) && len(funcBodies) > 0 {
-					checkMapRange(pass, n, funcBodies[len(funcBodies)-1])
+					checkMapRange(pass, h, n, funcBodies[len(funcBodies)-1])
 				}
 			}
 			return true
@@ -103,13 +110,13 @@ func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
 	return ok
 }
 
-func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+func checkMapRange(pass *analysis.Pass, h *helperScanner, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
 	loopVars := rangeVarObjects(pass, rs)
 
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			checkCall(pass, rs, n)
+			checkCall(pass, h, rs, n)
 		case *ast.AssignStmt:
 			checkAssign(pass, rs, n, loopVars, funcBody)
 		}
@@ -130,28 +137,160 @@ func rangeVarObjects(pass *analysis.Pass, rs *ast.RangeStmt) map[types.Object]bo
 	return vars
 }
 
-func checkCall(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
+func checkCall(pass *analysis.Pass, h *helperScanner, rs *ast.RangeStmt, call *ast.CallExpr) {
+	if hz := directHazard(pass, call); hz != nil {
+		report(pass, rs, "", hz)
 		return
 	}
+	// Not itself a hazard: if the callee is a helper declared in this
+	// package, the hazard may be one hop (or several) down — the loop body
+	// still drives it in iteration order.
+	if hz := h.classify(h.callee(call)); hz != nil {
+		report(pass, rs, calleeName(call), hz)
+	}
+}
+
+// report emits the diagnostic for a hazard reached from a map range,
+// optionally through a named helper.
+func report(pass *analysis.Pass, rs *ast.RangeStmt, helper string, hz *helperHazard) {
+	path := hz.path
+	if helper != "" {
+		path = helper + " → " + path
+	}
+	if hz.schedule {
+		pass.Reportf(rs.Pos(), "map range schedules events via %s in iteration order; event sequence numbers will differ between runs", path)
+	} else {
+		pass.Reportf(rs.Pos(), "map range writes output via %s in iteration order; iterate a sorted copy of the keys", path)
+	}
+}
+
+// helperHazard classifies what a call (or a helper's body, transitively)
+// does that makes driving it from a map range order-sensitive.
+type helperHazard struct {
+	schedule bool   // scheduling call; false means output writer
+	path     string // the offending call, prefixed by the helper chain
+}
+
+// directHazard reports whether call is itself a scheduling or output
+// call — the same recognitions checkCall has always applied, factored so
+// helper bodies are scanned with identical rules.
+func directHazard(pass *analysis.Pass, call *ast.CallExpr) *helperHazard {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
 	name := sel.Sel.Name
-	// Package-level fmt printers.
+	// Package-level selectors: fmt printers are hazards; any other
+	// package-level call is judged by its own body (if in this package)
+	// rather than its name.
 	if id, ok := sel.X.(*ast.Ident); ok {
 		if pn, ok := pass.ObjectOf(id).(*types.PkgName); ok {
 			if pn.Imported().Path() == "fmt" && fmtPrinters[name] {
-				pass.Reportf(rs.Pos(), "map range writes output via fmt.%s in iteration order; iterate a sorted copy of the keys", name)
+				return &helperHazard{path: "fmt." + name}
 			}
-			return
+			return nil
 		}
 	}
 	if writerMethods[name] {
-		pass.Reportf(rs.Pos(), "map range writes output via %s in iteration order; iterate a sorted copy of the keys", name)
-		return
+		return &helperHazard{path: name}
 	}
 	if scheduleMethods[name] || (name == "At" && receiverFromSim(pass, sel)) {
-		pass.Reportf(rs.Pos(), "map range schedules events via %s in iteration order; event sequence numbers will differ between runs", name)
+		return &helperHazard{schedule: true, path: name}
 	}
+	return nil
+}
+
+// helperScanner resolves calls to functions and methods declared in the
+// package under analysis and classifies their bodies — transitively and
+// memoized — so a hazard buried in a helper is attributed to the map
+// range that drives it. Self- and mutual recursion terminate via the
+// in-progress memo entry (a cycle with no hazard on it is clean).
+type helperScanner struct {
+	pass  *analysis.Pass
+	decls map[types.Object]*ast.FuncDecl
+	memo  map[types.Object]*helperHazard
+}
+
+func newHelperScanner(pass *analysis.Pass) *helperScanner {
+	h := &helperScanner{
+		pass:  pass,
+		decls: make(map[types.Object]*ast.FuncDecl),
+		memo:  make(map[types.Object]*helperHazard),
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.ObjectOf(fd.Name); obj != nil {
+					h.decls[obj] = fd
+				}
+			}
+		}
+	}
+	return h
+}
+
+// callee resolves the object a call expression invokes: a plain
+// identifier (top-level function) or a selector (method or qualified
+// function). Builtins, conversions, and function-typed values resolve to
+// objects with no recorded declaration and classify as clean.
+func (h *helperScanner) callee(call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return h.pass.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		return h.pass.ObjectOf(fun.Sel)
+	}
+	return nil
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "?"
+}
+
+// classify returns the hazard a call to obj reaches, or nil when its body
+// (and everything it calls in this package) is order-free.
+func (h *helperScanner) classify(obj types.Object) *helperHazard {
+	if obj == nil {
+		return nil
+	}
+	if res, seen := h.memo[obj]; seen {
+		return res
+	}
+	decl := h.decls[obj]
+	if decl == nil {
+		h.memo[obj] = nil
+		return nil
+	}
+	// In-progress marker: recursion into a cycle sees "clean", which is
+	// correct — any hazard on the cycle is found by the outermost scan.
+	h.memo[obj] = nil
+	var found *helperHazard
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if hz := directHazard(h.pass, call); hz != nil {
+			found = hz
+			return false
+		}
+		if sub := h.classify(h.callee(call)); sub != nil {
+			found = &helperHazard{schedule: sub.schedule, path: calleeName(call) + " → " + sub.path}
+			return false
+		}
+		return true
+	})
+	h.memo[obj] = found
+	return found
 }
 
 // receiverFromSim reports whether sel's receiver type is declared in a

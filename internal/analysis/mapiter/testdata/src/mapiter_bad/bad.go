@@ -83,6 +83,44 @@ func totalRate(rates map[flowKey]float64) float64 {
 	return total
 }
 
+// kick is an innocent-looking helper whose body schedules; calling it
+// from a map range is the same bug as calling Schedule inline, one hop
+// removed.
+func kick(eng *sim.Engine, w func()) {
+	eng.Schedule(sim.Time(1), w)
+}
+
+func kickAllViaHelper(eng *sim.Engine, waiters map[flowKey]func()) {
+	for _, w := range waiters { // want `map range schedules events via kick → Schedule in iteration order`
+		kick(eng, w)
+	}
+}
+
+// The hazard can hide arbitrarily deep: wake → kick → Schedule. The
+// analyzer follows same-package helper chains and names the path.
+func wake(eng *sim.Engine, w func()) {
+	kick(eng, w)
+}
+
+func kickAllTwoDeep(eng *sim.Engine, waiters map[flowKey]func()) {
+	for _, w := range waiters { // want `map range schedules events via wake → kick → Schedule in iteration order`
+		wake(eng, w)
+	}
+}
+
+// Methods are helpers too: a reporter whose emit writes output.
+type reporter struct{ w io.Writer }
+
+func (r *reporter) emit(k flowKey, n int) {
+	fmt.Fprintf(r.w, "%v %d\n", k, n)
+}
+
+func dumpViaMethod(r *reporter, counts map[flowKey]int) {
+	for k, n := range counts { // want `map range writes output via emit → fmt\.Fprintf in iteration order`
+		r.emit(k, n)
+	}
+}
+
 // A replay-shaped flow record: the timer is embedded in the arena record,
 // not heap-allocated per arm.
 type replayFlow struct {

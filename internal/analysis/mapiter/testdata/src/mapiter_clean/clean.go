@@ -72,6 +72,39 @@ func stopAll(eng *sim.Engine, timers map[flowKey]*sim.Timer) {
 	}
 }
 
+// Helpers whose bodies are order-free must not be flagged when called
+// from a map range — stopping a timer consumes no sequence number.
+func stop(eng *sim.Engine, t *sim.Timer) {
+	eng.StopTimer(t)
+}
+
+func stopAllViaHelper(eng *sim.Engine, timers map[flowKey]*sim.Timer) {
+	for _, t := range timers {
+		stop(eng, t)
+	}
+}
+
+// Mutually recursive helpers with no hazard anywhere on the cycle: the
+// scanner's memoization must terminate and classify both as clean.
+func evenDecay(st *state, n int) {
+	if n > 0 {
+		oddDecay(st, n-1)
+	}
+}
+
+func oddDecay(st *state, n int) {
+	st.bytes *= 0.5
+	if n > 0 {
+		evenDecay(st, n-1)
+	}
+}
+
+func decayAll(states map[flowKey]*state) {
+	for _, st := range states {
+		evenDecay(st, 4)
+	}
+}
+
 // Deleting while ranging is sanctioned Go and per-key independent.
 func prune(counts map[flowKey]int64) {
 	for k, n := range counts {

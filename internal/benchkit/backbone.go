@@ -22,15 +22,18 @@ import (
 // per live flow at full population, the footprint figure).
 
 const (
-	backboneFlows   = 100_000
-	backboneHorizon = sim.Time(40e6) // 40 ms simulated per op
+	backboneFlows      = 100_000
+	backboneHeavyFlows = 1_000_000
+	backboneHorizon    = sim.Time(40e6) // 40 ms simulated per op
 )
 
-func backboneSchedule() []trace.FlowSpec {
+func backboneSchedule() []trace.FlowSpec { return backboneScheduleFor(backboneFlows) }
+
+func backboneScheduleFor(flows int) []trace.FlowSpec {
 	tc := trace.DefaultConfig()
 	tc.Duration = backboneHorizon
-	tc.StandingFlows = backboneFlows
-	tc.LifetimeScale = backboneFlows / 2000
+	tc.StandingFlows = flows
+	tc.LifetimeScale = float64(flows) / 2000
 	tc.LinkBps = 0 // no offline thinning: the replay loop paces live
 	tc.Seed = 1
 	return trace.Flows(tc)
@@ -80,8 +83,16 @@ func (r *backboneRig) attach(schedule []trace.FlowSpec) *replay.Source {
 // Backbone measures the 10⁵-flow closed-loop replay tier end to end: 40
 // simulated milliseconds per op. Reports flows/s sustained and resident
 // B/flow alongside the standard ns/B/allocs columns.
-func Backbone(b *testing.B) {
-	schedule := backboneSchedule()
+func Backbone(b *testing.B) { backboneBench(b, backboneFlows) }
+
+// BackboneHeavy is the same rig at the paper's 10⁶-flow design ceiling —
+// the scale tier the Fig.-13 regime claims. An op takes tens of seconds
+// and the standing population holds hundreds of megabytes live, so it is
+// scored only behind cebinae-bench's -bench-heavy flag.
+func BackboneHeavy(b *testing.B) { backboneBench(b, backboneHeavyFlows) }
+
+func backboneBench(b *testing.B, flows int) {
+	schedule := backboneScheduleFor(flows)
 
 	// Footprint pre-pass: heap growth from admitting the whole standing
 	// population (records, arena chunks, armed wheel timers, feedback
@@ -96,8 +107,8 @@ func Backbone(b *testing.B) {
 	rig.eng.RunUntil(1) // t=0 admission burst only
 	runtime.GC()
 	runtime.ReadMemStats(&m1)
-	if source.Stats.PeakActive < backboneFlows {
-		b.Fatalf("admission burst left %d of %d flows live", source.Stats.PeakActive, backboneFlows)
+	if source.Stats.PeakActive < flows {
+		b.Fatalf("admission burst left %d of %d flows live", source.Stats.PeakActive, flows)
 	}
 	var bytesPerFlow float64
 	if m1.HeapAlloc > m0.HeapAlloc {

@@ -187,15 +187,17 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Specs enumerates the harness's benchmarks in reporting order.
-func Specs() []struct {
+// Spec is one named benchmark in the harness.
+type Spec struct {
 	Name string
 	Fn   func(*testing.B)
-} {
-	return []struct {
-		Name string
-		Fn   func(*testing.B)
-	}{
+}
+
+// Specs enumerates the harness's benchmarks in reporting order: the
+// serial microbenchmarks and end-to-end runs, then the multi-core
+// scaling grid (one row per (shards, GOMAXPROCS) cell).
+func Specs() []Spec {
+	out := []Spec{
 		{"EngineDispatch", EngineDispatch},
 		{"EngineDispatchClosure", EngineDispatchClosure},
 		{"EngineScheduleCancel", EngineScheduleCancel},
@@ -206,15 +208,32 @@ func Specs() []struct {
 		{ChainSpecName(4), ChainE2EShards(4)},
 		{"Backbone", Backbone},
 	}
+	return append(out, GridSpecs()...)
 }
 
-// RunAll executes every benchmark via testing.Benchmark and returns the
-// measured results.
-func RunAll() []Result {
+// HeavySpecs enumerates the benchmarks behind cebinae-bench's
+// -bench-heavy flag: the million-flow backbone tier, too expensive for
+// the default snapshot but scored with the same machinery when asked.
+func HeavySpecs() []Spec {
+	return []Spec{{"BackboneHeavy", BackboneHeavy}}
+}
+
+// RunAll executes the default benchmark suite via testing.Benchmark and
+// returns the measured results.
+func RunAll() []Result { return RunSuite(false) }
+
+// RunSuite executes the benchmark suite — plus the heavy tier when asked
+// — and attaches the grid's derived speedup metrics.
+func RunSuite(heavy bool) []Result {
+	specs := Specs()
+	if heavy {
+		specs = append(specs, HeavySpecs()...)
+	}
 	var out []Result
-	for _, s := range Specs() {
+	for _, s := range specs {
 		out = append(out, resultOf(s.Name, testing.Benchmark(s.Fn)))
 	}
+	attachSpeedups(out)
 	return out
 }
 

@@ -3,6 +3,7 @@ package benchkit
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"cebinae/internal/netem"
 	"cebinae/internal/packet"
@@ -12,49 +13,99 @@ import (
 	"cebinae/internal/tcp"
 )
 
-// chainE2E measures the sharded multi-bottleneck scenario end to end: a
-// 3-hop parking-lot chain (6 long + 24 cross NewReno flows over three
-// 100 Mbps bottlenecks), 2 simulated seconds per op, partitioned across
-// `shards` engines. The 1- and 4-shard entries bracket the conservative
-// parallel runner's speedup; the differential tests in the experiments
-// package pin both configurations to byte-identical results, so the
-// delta between the two entries is pure wall clock.
+// wallNow is the wall-clock source injected into instrumented clusters.
+// The shard package cannot read the real clock itself (the detsource
+// analyzer polices it); benchkit is host-side and times real executions.
+func wallNow() int64 { return time.Now().UnixNano() }
+
+// buildChain constructs the chain benchmark's topology: a 3-hop
+// parking-lot chain, 6 long + 24 cross flows over three 100 Mbps
+// bottlenecks. Shared by the real build and the partition planner's
+// recording pass.
+func buildChain(f netem.Fabric) *netem.ParkingLot {
+	return netem.BuildParkingLotOn(f, netem.ParkingLotConfig{
+		Hops:            3,
+		LongFlows:       6,
+		CrossPerHop:     []int{8, 8, 8},
+		BottleneckBps:   100e6,
+		LinkDelay:       sim.Time(5e6),
+		AccessDelay:     sim.Time(5e6),
+		BottleneckQdisc: func(dev *netem.Device) netem.Qdisc { return qdisc.NewFIFO(850 * 1500) },
+		DefaultQdisc:    func() netem.Qdisc { return qdisc.NewFIFO(16 << 20) },
+	})
+}
+
+// newCluster builds a cluster for `build`'s topology: single-engine for
+// one shard, min-cut auto-partitioned beyond (the same path the
+// experiments package runs, so the measured numbers are the shipped
+// configuration, not a hand tuning).
+func newCluster(shards int, build func(netem.Fabric)) *shard.Cluster {
+	if shards <= 1 {
+		return shard.NewCluster(1)
+	}
+	return shard.NewClusterWithPlan(shard.AutoPlan(shards, build))
+}
+
+// chainE2E measures the sharded multi-bottleneck scenario end to end: 2
+// simulated seconds per op, auto-partitioned across `shards` engines.
+// The 1- and 4-shard entries bracket the conservative parallel runner's
+// speedup; the differential tests in the experiments package pin the
+// configurations to byte-identical results, so the delta between entries
+// is pure wall clock. Custom metrics: stall-ns/window (mean wall-clock
+// gap at each barrier between the first and last shard finishing) and
+// windows/op (how many barriers the adaptive lookahead actually ran).
 func chainE2E(b *testing.B, shards int) {
 	b.ReportAllocs()
+	var stats shard.RunStats
 	for i := 0; i < b.N; i++ {
-		cl := shard.NewCluster(shards)
-		pl := netem.BuildParkingLotOn(cl, netem.ParkingLotConfig{
-			Hops:            3,
-			LongFlows:       6,
-			CrossPerHop:     []int{8, 8, 8},
-			BottleneckBps:   100e6,
-			LinkDelay:       sim.Time(5e6),
-			AccessDelay:     sim.Time(5e6),
-			BottleneckQdisc: func(dev *netem.Device) netem.Qdisc { return qdisc.NewFIFO(850 * 1500) },
-			DefaultQdisc:    func() netem.Qdisc { return qdisc.NewFIFO(16 << 20) },
-		})
-		type pair struct{ s, r *netem.Node }
-		var eps []pair
-		for i := range pl.LongSenders {
-			eps = append(eps, pair{pl.LongSenders[i], pl.LongReceivers[i]})
-		}
-		for h := range pl.CrossSenders {
-			for c := range pl.CrossSenders[h] {
-				eps = append(eps, pair{pl.CrossSenders[h][c], pl.CrossReceivers[h][c]})
-			}
-		}
-		for fi, ep := range eps {
-			key := packet.FlowKey{
-				Src: ep.s.ID, Dst: ep.r.ID,
-				SrcPort: uint16(1000 + fi), DstPort: uint16(5000 + fi),
-				Proto: packet.ProtoTCP,
-			}
-			tcp.NewConn(ep.s.Engine(), ep.s, tcp.Config{Key: key, Seed: uint64(fi + 1)})
-			tcp.NewReceiver(ep.r.Engine(), ep.r, tcp.ReceiverConfig{Key: key})
-		}
-		cl.Run(sim.Time(2e9))
+		cl := runChain(shards)
+		stats.Windows += cl.Stats.Windows
+		stats.Widened += cl.Stats.Widened
+		stats.BarrierStallNs += cl.Stats.BarrierStallNs
 		Sink = int(cl.Processed())
 	}
+	reportClusterMetrics(b, stats)
+}
+
+// runChain executes one op of the chain spec — build, attach the 30 TCP
+// flows, run 2 simulated seconds — and returns the finished cluster. The
+// benchmark loop and the CI speedup smoke share this body so they time
+// the same work.
+func runChain(shards int) *shard.Cluster {
+	cl := newCluster(shards, func(f netem.Fabric) { buildChain(f) })
+	cl.Instrument(wallNow)
+	pl := buildChain(cl)
+	type pair struct{ s, r *netem.Node }
+	var eps []pair
+	for i := range pl.LongSenders {
+		eps = append(eps, pair{pl.LongSenders[i], pl.LongReceivers[i]})
+	}
+	for h := range pl.CrossSenders {
+		for c := range pl.CrossSenders[h] {
+			eps = append(eps, pair{pl.CrossSenders[h][c], pl.CrossReceivers[h][c]})
+		}
+	}
+	for fi, ep := range eps {
+		key := packet.FlowKey{
+			Src: ep.s.ID, Dst: ep.r.ID,
+			SrcPort: uint16(1000 + fi), DstPort: uint16(5000 + fi),
+			Proto: packet.ProtoTCP,
+		}
+		tcp.NewConn(ep.s.Engine(), ep.s, tcp.Config{Key: key, Seed: uint64(fi + 1)})
+		tcp.NewReceiver(ep.r.Engine(), ep.r, tcp.ReceiverConfig{Key: key})
+	}
+	cl.Run(sim.Time(2e9))
+	return cl
+}
+
+// reportClusterMetrics attaches the barrier metrics a multi-shard run
+// accumulated; single-engine runs have no windows and report nothing.
+func reportClusterMetrics(b *testing.B, stats shard.RunStats) {
+	if stats.Windows == 0 {
+		return
+	}
+	b.ReportMetric(float64(stats.BarrierStallNs)/float64(stats.Windows), "stall-ns/window")
+	b.ReportMetric(float64(stats.Windows)/float64(b.N), "windows/op")
 }
 
 // ChainE2EShards returns the chain benchmark pinned to a shard count, for

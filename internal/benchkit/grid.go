@@ -1,0 +1,143 @@
+package benchkit
+
+// The multi-core grid measures how the conservative parallel runner
+// actually scales: every (GOMAXPROCS, shards) cell of the ladder runs the
+// same sharded specs, so BENCH_baseline.json carries one row per procs
+// value and the speedup column is computed against the shards=1 row of
+// the same procs (never across procs, which would conflate scheduler
+// effects with sharding). On a single-core host the ladder collapses to
+// procs=1 and the grid degenerates to the serial entries — the rows are
+// still recorded so the snapshot shape is host-independent.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"cebinae/internal/netem"
+	"cebinae/internal/packet"
+	"cebinae/internal/qdisc"
+	"cebinae/internal/shard"
+	"cebinae/internal/sim"
+	"cebinae/internal/tcp"
+)
+
+// ProcsLadder returns the GOMAXPROCS values the grid measures: powers of
+// two up to the machine's core count, capped at 8.
+func ProcsLadder() []int {
+	var out []int
+	for p := 1; p <= runtime.NumCPU() && p <= 8; p *= 2 {
+		out = append(out, p)
+	}
+	return out
+}
+
+// gridShards are the shard counts each grid cell measures.
+var gridShards = []int{1, 2, 4}
+
+// withProcs pins GOMAXPROCS around one benchmark body.
+func withProcs(procs int, fn func(*testing.B)) func(*testing.B) {
+	return func(b *testing.B) {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		fn(b)
+	}
+}
+
+// buildDumbbell4 constructs the grid's second topology: a 12-flow uniform
+// 40 ms dumbbell. The min-cut planner splits it into four regions — three
+// sender groups cut at their ~20 ms access links plus the switches-and-
+// receivers region — so, unlike the chain (whose cut links are the
+// bottlenecks themselves), this spec exercises parallel cut access links
+// and the widest adaptive windows the planner can find.
+func buildDumbbell4(f netem.Fabric) *netem.Dumbbell {
+	return netem.BuildDumbbellOn(f, netem.DumbbellConfig{
+		FlowCount:       12,
+		BottleneckBps:   100e6,
+		BottleneckDelay: sim.Time(0.1e6),
+		RTTs:            []sim.Time{sim.Time(40e6)},
+		BottleneckQdisc: func(dev *netem.Device) netem.Qdisc { return qdisc.NewFIFO(850 * 1500) },
+		DefaultQdisc:    func() netem.Qdisc { return qdisc.NewFIFO(16 << 20) },
+	})
+}
+
+// dumbbell4E2E runs the 12-flow dumbbell for 2 simulated seconds per op,
+// auto-partitioned across `shards` engines, with the same barrier metrics
+// as chainE2E.
+func dumbbell4E2E(b *testing.B, shards int) {
+	b.ReportAllocs()
+	var stats shard.RunStats
+	for i := 0; i < b.N; i++ {
+		cl := newCluster(shards, func(f netem.Fabric) { buildDumbbell4(f) })
+		cl.Instrument(wallNow)
+		d := buildDumbbell4(cl)
+		for fi := range d.Senders {
+			key := packet.FlowKey{
+				Src: d.Senders[fi].ID, Dst: d.Receivers[fi].ID,
+				SrcPort: uint16(1000 + fi), DstPort: uint16(5000 + fi),
+				Proto: packet.ProtoTCP,
+			}
+			tcp.NewConn(d.Senders[fi].Engine(), d.Senders[fi], tcp.Config{Key: key, Seed: uint64(fi + 1)})
+			tcp.NewReceiver(d.Receivers[fi].Engine(), d.Receivers[fi], tcp.ReceiverConfig{Key: key})
+		}
+		cl.Run(sim.Time(2e9))
+		stats.Windows += cl.Stats.Windows
+		stats.Widened += cl.Stats.Widened
+		stats.BarrierStallNs += cl.Stats.BarrierStallNs
+		Sink = int(cl.Processed())
+	}
+	reportClusterMetrics(b, stats)
+}
+
+// Dumbbell4Shards returns the dumbbell grid benchmark pinned to a shard
+// count.
+func Dumbbell4Shards(shards int) func(*testing.B) {
+	return func(b *testing.B) { dumbbell4E2E(b, shards) }
+}
+
+// GridSpecs enumerates the multi-core scaling cells: each sharded family
+// at every (shards, procs) point of the ladder.
+func GridSpecs() []Spec {
+	var out []Spec
+	for _, procs := range ProcsLadder() {
+		for _, shards := range gridShards {
+			out = append(out,
+				Spec{gridName("ChainE2E", shards, procs), withProcs(procs, ChainE2EShards(shards))},
+				Spec{gridName("Dumbbell4", shards, procs), withProcs(procs, Dumbbell4Shards(shards))},
+			)
+		}
+	}
+	return out
+}
+
+func gridName(family string, shards, procs int) string {
+	return fmt.Sprintf("%s/shards=%d/procs=%d", family, shards, procs)
+}
+
+// attachSpeedups adds a "speedup" metric to every multi-shard grid row:
+// wall-clock ns/op of the same family's shards=1 row at the same procs,
+// divided by this row's. >1 means sharding paid off at that core count.
+func attachSpeedups(results []Result) {
+	index := make(map[string]int, len(results))
+	for i, r := range results {
+		index[r.Name] = i
+	}
+	for _, procs := range ProcsLadder() {
+		for _, family := range []string{"ChainE2E", "Dumbbell4"} {
+			base, ok := index[gridName(family, 1, procs)]
+			if !ok || results[base].NsPerOp <= 0 {
+				continue
+			}
+			for _, shards := range gridShards[1:] {
+				i, ok := index[gridName(family, shards, procs)]
+				if !ok || results[i].NsPerOp <= 0 {
+					continue
+				}
+				if results[i].Metrics == nil {
+					results[i].Metrics = make(map[string]float64, 1)
+				}
+				results[i].Metrics["speedup"] = results[base].NsPerOp / results[i].NsPerOp
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package benchkit
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestShardSpeedupSmoke is the CI scaling gate: on a multi-core host the
+// auto-partitioned 2-shard chain run must not be materially slower than
+// the single-engine run (wall clock ≤ 1.15x). It is not a benchmark — the
+// bound is deliberately loose so scheduler noise on shared CI runners
+// cannot flake it — but it catches the failure mode perf counters alone
+// miss: a barrier or partitioning regression that makes sharding a net
+// loss. Timing tests are noise-prone by nature, so it only runs when
+// CEBINAE_SPEEDUP_SMOKE=1 (the dedicated CI step sets it).
+func TestShardSpeedupSmoke(t *testing.T) {
+	if os.Getenv("CEBINAE_SPEEDUP_SMOKE") == "" {
+		t.Skip("set CEBINAE_SPEEDUP_SMOKE=1 to run the wall-clock scaling smoke")
+	}
+	if runtime.NumCPU() < 2 {
+		t.Skip("needs >= 2 cores; sharding cannot beat serial on one")
+	}
+
+	// Best-of-3 per configuration: the minimum is the run least disturbed
+	// by the host, which is the quantity the bound is about.
+	wall := func(shards int) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			cl := runChain(shards)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			Sink = int(cl.Processed())
+		}
+		return best
+	}
+	wall(2) // warm build cache, pools, and the OS scheduler before timing
+	serial := wall(1)
+	sharded := wall(2)
+	ratio := float64(sharded) / float64(serial)
+	t.Logf("chain spec: shards=1 %v, shards=2 %v (ratio %.3f)", serial, sharded, ratio)
+	if ratio > 1.15 {
+		t.Fatalf("shards=2 took %.3fx the serial wall clock (limit 1.15x) — sharding is a net loss", ratio)
+	}
+}

@@ -37,12 +37,15 @@ type Endpoint interface {
 // link whose peer device lives in a different Network (and typically on a
 // different engine). Instead of scheduling the peer's arrival event
 // directly, the device passes each serialised packet to the handoff with
-// its computed arrival time; the remote runner delivers it by calling
-// InjectArrivalAt on the opposite half. The handoff takes ownership of
-// the packet: it must copy what it needs and release the packet to the
-// source network's pool before returning.
+// the time its last bit left the device (sent) and its computed arrival
+// time; the remote runner delivers it by calling InjectArrivalFrom on the
+// opposite half, carrying `sent` so the arrival sorts among same-instant
+// remote events exactly where a single merged engine would have placed
+// it. The handoff takes ownership of the packet: it must copy what it
+// needs and release the packet to the source network's pool before
+// returning.
 type Handoff interface {
-	Handoff(p *packet.Packet, arrival sim.Time)
+	Handoff(p *packet.Packet, sent, arrival sim.Time)
 }
 
 // DeviceStats aggregates transmit-side counters for throughput accounting.
@@ -105,6 +108,10 @@ func (d *Device) Delay() sim.Time { return d.delay }
 // Qdisc returns the attached queue discipline.
 func (d *Device) Qdisc() Qdisc { return d.qdisc }
 
+// Busy reports whether a packet is currently being serialised onto the
+// link. While true, NextHandoffBound is the exact completion instant.
+func (d *Device) Busy() bool { return d.busy }
+
 // SetQdisc replaces the queue discipline. Must be called before traffic
 // flows through the device.
 func (d *Device) SetQdisc(q Qdisc) { d.qdisc = q }
@@ -160,7 +167,8 @@ func (t *deviceTxDone) OnEvent(any) {
 		d.OnTransmit(p)
 	}
 	if d.handoff != nil {
-		d.handoff.Handoff(p, d.node.net.Engine.Now()+d.delay)
+		now := d.node.net.Engine.Now()
+		d.handoff.Handoff(p, now, now+d.delay)
 	} else {
 		d.node.net.Engine.ScheduleCall(d.delay, (*deviceArrival)(d.peer), p)
 	}
@@ -182,6 +190,33 @@ func (r *deviceArrival) OnEvent(arg any) {
 // network (drawn from its pool or handed over for good).
 func (d *Device) InjectArrivalAt(t sim.Time, p *packet.Packet) {
 	d.node.net.Engine.AtCall(t, (*deviceArrival)(d), p)
+}
+
+// InjectArrivalFrom schedules p's arrival at absolute virtual time t,
+// ordered among same-instant local events by the time the remote half
+// emitted it (sent) — the stamp a single merged engine would have given
+// the propagation event it scheduled at transmit completion. Sharded
+// runners use this instead of InjectArrivalAt so cuts through
+// dense-traffic links (same-nanosecond arrival collisions) stay
+// byte-identical to the single-engine run.
+func (d *Device) InjectArrivalFrom(t, sent sim.Time, p *packet.Packet) {
+	d.node.net.Engine.AtCallFrom(t, sent, (*deviceArrival)(d), p)
+}
+
+// NextHandoffBound returns a lower bound on the virtual time at which
+// this device could next complete a transmission. While a packet is on
+// the wire that is its completion instant; a quiescent transmitter can
+// only start again in response to a future event on its engine (a Send
+// or Kick happens inside some dispatch), so the engine's next-event
+// bound applies. Conservative-parallel runners evaluate this at a
+// window barrier — when every event up to the horizon has fired — to
+// prove a cut link idle and widen the next lookahead window beyond the
+// link's propagation delay.
+func (d *Device) NextHandoffBound() sim.Time {
+	if d.busy {
+		return d.txEvent.At()
+	}
+	return d.node.net.Engine.NextEventTime()
 }
 
 // Kick restarts the transmitter if it is idle and the qdisc has become

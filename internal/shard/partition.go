@@ -1,0 +1,307 @@
+package shard
+
+import (
+	"sort"
+
+	"cebinae/internal/netem"
+	"cebinae/internal/sim"
+)
+
+// Plan is a computed node-to-shard assignment for a recorded topology.
+type Plan struct {
+	// Shards is the effective partition count. It can be lower than the
+	// requested count when the topology cannot be split that far (for
+	// example when zero-delay links glue nodes together — a cut link
+	// needs positive delay).
+	Shards int
+	// Assign maps node creation order to shard index. Shard indices are
+	// dense, 0-based, and ordered by each partition's smallest node
+	// ordinal, so the plan is a pure function of the graph.
+	Assign []int
+	// Lookahead is the minimum propagation delay over the plan's cut
+	// links — the conservative window width a cluster built from this
+	// plan runs with. MaxTime when the plan cuts nothing (Shards == 1).
+	Lookahead sim.Time
+}
+
+// AutoPlan records the topology `build` constructs and returns a
+// partition plan for `shards` shards. The recording pass runs the full
+// builder against a throwaway single-engine network (construction only —
+// nothing is simulated), so the plan applies positionally to a second,
+// real build of the same topology on NewClusterWithPlan. The recorder
+// reports `shards` from Shards() so builders that derive their hand
+// hints from the fabric's shard count trace exactly the construction
+// order the real pass will.
+func AutoPlan(shards int, build func(netem.Fabric)) Plan {
+	rec := netem.NewRecorder(netem.NewNetwork(sim.NewEngine()), shards)
+	build(rec)
+	return PlanGraph(rec.Graph, shards)
+}
+
+// PlanGraph partitions a topology graph into `shards` regions connected
+// only by cut links, maximising the conservative lookahead window and
+// balancing estimated event load:
+//
+//  1. Threshold contraction. The lookahead of any partition is the
+//     minimum delay over its cut links, so the widest achievable window
+//     W is the largest link delay such that contracting every link with
+//     delay < W still leaves at least `shards` components. Every edge
+//     that survives as a candidate cut then has delay >= W by
+//     construction, and merging components never reintroduces a
+//     narrower cut.
+//  2. Load-balanced merging. Components merge down to exactly `shards`
+//     regions. Each node's event-load proxy is the sum of its incident
+//     link rates (events per simulated second scale with the bits a
+//     node moves). The lightest component repeatedly merges into the
+//     neighbour it shares the most link capacity with — co-locating
+//     chatter, subject to a balance cap of 1.25x the ideal per-shard
+//     load — falling back to the lightest component under the cap, then
+//     the lightest overall. All ties break on the smallest node
+//     ordinal, so the result is a deterministic function of the graph.
+//
+// Requests beyond what the topology supports degrade: shards is clamped
+// to the node count and to the component count reachable with
+// positive-delay cuts.
+func PlanGraph(g netem.Graph, shards int) Plan {
+	n := len(g.Nodes)
+	assign := make([]int, n)
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 || n == 0 {
+		return Plan{Shards: 1, Assign: assign, Lookahead: sim.MaxTime}
+	}
+
+	// Candidate thresholds: the distinct positive link delays, ascending.
+	delays := make([]sim.Time, 0, len(g.Links))
+	for _, l := range g.Links {
+		if l.Delay > 0 {
+			delays = append(delays, l.Delay)
+		}
+	}
+	sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+	delays = dedupTimes(delays)
+	if len(delays) == 0 {
+		return Plan{Shards: 1, Assign: assign, Lookahead: sim.MaxTime}
+	}
+
+	// The component count after contraction is non-increasing in W, so
+	// the widest feasible window is the last candidate that still leaves
+	// enough components. If even the narrowest candidate cannot reach
+	// the requested count (zero-delay links glue too much together),
+	// degrade to what it can.
+	if c := componentsUnder(g, delays[0]); c < shards {
+		shards = c
+		if shards <= 1 {
+			return Plan{Shards: 1, Assign: assign, Lookahead: sim.MaxTime}
+		}
+	}
+	w := delays[0]
+	for _, d := range delays[1:] {
+		if componentsUnder(g, d) >= shards {
+			w = d
+		} else {
+			break
+		}
+	}
+
+	comp := contract(g, w)
+	mergeComponents(g, comp, shards)
+
+	// Renumber surviving components 0..shards-1 by smallest node ordinal
+	// (node 0's region is shard 0), then compute the achieved lookahead.
+	order := make([]int, 0, shards)
+	seen := make([]int, n)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		r := comp.find(i)
+		if seen[r] < 0 {
+			seen[r] = len(order)
+			order = append(order, r)
+		}
+		assign[i] = seen[r]
+	}
+	look := sim.MaxTime
+	for _, l := range g.Links {
+		if assign[l.A] != assign[l.B] && l.Delay < look {
+			look = l.Delay
+		}
+	}
+	return Plan{Shards: len(order), Assign: assign, Lookahead: look}
+}
+
+func dedupTimes(s []sim.Time) []sim.Time {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// unionFind is a plain union-by-index disjoint-set over node ordinals.
+// Union keeps the smaller root, so a set's representative is always its
+// smallest member — the tie-break every later stage keys on.
+type unionFind []int
+
+func newUnionFind(n int) unionFind {
+	uf := make(unionFind, n)
+	for i := range uf {
+		uf[i] = i
+	}
+	return uf
+}
+
+func (uf unionFind) find(i int) int {
+	for uf[i] != i {
+		uf[i] = uf[uf[i]]
+		i = uf[i]
+	}
+	return i
+}
+
+func (uf unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	uf[rb] = ra
+}
+
+// contract unions the endpoints of every link with delay below w.
+func contract(g netem.Graph, w sim.Time) unionFind {
+	uf := newUnionFind(len(g.Nodes))
+	for _, l := range g.Links {
+		if l.Delay < w {
+			uf.union(l.A, l.B)
+		}
+	}
+	return uf
+}
+
+// componentsUnder counts components after contracting links with delay
+// below w.
+func componentsUnder(g netem.Graph, w sim.Time) int {
+	uf := contract(g, w)
+	count := 0
+	for i := range uf {
+		if uf.find(i) == i {
+			count++
+		}
+	}
+	return count
+}
+
+// mergeComponents reduces comp's component count to k by repeatedly
+// merging the lightest component away (see PlanGraph). Any merge is
+// safe for the lookahead: inter-component links all carry delay >= w by
+// the contraction invariant, and unioning components only removes links
+// from the cut set.
+func mergeComponents(g netem.Graph, comp unionFind, k int) {
+	n := len(g.Nodes)
+	// Compact component ids in order of smallest member.
+	id := make([]int, n)
+	for i := range id {
+		id[i] = -1
+	}
+	var roots []int
+	for i := 0; i < n; i++ {
+		r := comp.find(i)
+		if id[r] < 0 {
+			id[r] = len(roots)
+			roots = append(roots, r)
+		}
+		id[i] = id[r]
+	}
+	m := len(roots)
+	if m <= k {
+		return
+	}
+
+	// Load proxy per component and pairwise shared capacity.
+	load := make([]float64, m)
+	adj := make([][]float64, m)
+	for i := range adj {
+		adj[i] = make([]float64, m)
+	}
+	var total float64
+	for _, l := range g.Links {
+		a, b := id[l.A], id[l.B]
+		load[a] += l.RateBps
+		load[b] += l.RateBps
+		total += 2 * l.RateBps
+		if a != b {
+			adj[a][b] += l.RateBps
+			adj[b][a] += l.RateBps
+		}
+	}
+	loadCap := total / float64(k) * 1.25
+	alive := m
+
+	for alive > k {
+		// The lightest living component; ties go to the lowest slot,
+		// which is the one whose original smallest member is lowest —
+		// deterministic either way.
+		s := -1
+		for i := 0; i < m; i++ {
+			if roots[i] < 0 {
+				continue
+			}
+			if s < 0 || load[i] < load[s] {
+				s = i
+			}
+		}
+		// Its target: most-shared-capacity neighbour under the balance
+		// cap, else the lightest other component under the cap, else the
+		// lightest other component outright.
+		t, bestShared := -1, 0.0
+		for i := 0; i < m; i++ {
+			if i == s || roots[i] < 0 || adj[s][i] <= 0 || load[s]+load[i] > loadCap {
+				continue
+			}
+			if t < 0 || adj[s][i] > bestShared {
+				t, bestShared = i, adj[s][i]
+			}
+		}
+		if t < 0 {
+			for i := 0; i < m; i++ {
+				if i == s || roots[i] < 0 || load[s]+load[i] > loadCap {
+					continue
+				}
+				if t < 0 || load[i] < load[t] {
+					t = i
+				}
+			}
+		}
+		if t < 0 {
+			for i := 0; i < m; i++ {
+				if i == s || roots[i] < 0 {
+					continue
+				}
+				if t < 0 || load[i] < load[t] {
+					t = i
+				}
+			}
+		}
+		// Fold s into t everywhere; keep t's slot, retire s's.
+		comp.union(roots[s], roots[t])
+		load[t] += load[s]
+		for i := 0; i < m; i++ {
+			if i == t {
+				continue
+			}
+			adj[t][i] += adj[s][i]
+			adj[i][t] += adj[i][s]
+			adj[s][i], adj[i][s] = 0, 0
+		}
+		adj[t][t] = 0
+		roots[s] = -1
+		alive--
+	}
+}

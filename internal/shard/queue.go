@@ -12,6 +12,13 @@ import (
 // receivers emit at most three blocks (RFC 2018) — so the steady-state
 // record is pointer-free and handoff performs no allocation.
 type record struct {
+	// sent is the virtual time the packet's last bit left the source
+	// device; arrival is sent plus the link's propagation delay. Both
+	// ride across the boundary: arrival places the injected event on the
+	// destination's clock, sent orders it among same-instant destination
+	// events exactly where a single merged engine would have (see
+	// sim.Engine.AtCallFrom).
+	sent    sim.Time
 	arrival sim.Time
 	pkt     packet.Packet
 	sack    [3]packet.SackBlock
@@ -22,7 +29,8 @@ type record struct {
 }
 
 // capture fills the record from p without retaining any of p's memory.
-func (r *record) capture(p *packet.Packet, arrival sim.Time) {
+func (r *record) capture(p *packet.Packet, sent, arrival sim.Time) {
+	r.sent = sent
 	r.arrival = arrival
 	r.pkt = *p
 	r.pkt.SACK = nil
@@ -81,18 +89,40 @@ func (q *spsc) push(r *record) {
 	q.overflow = append(q.overflow, *r)
 }
 
-// drain moves every queued record out through fn in FIFO order (consumer
-// side, drain phases only).
-func (q *spsc) drain(fn func(*record)) {
+// empty reports whether the queue holds no records (consumer side).
+func (q *spsc) empty() bool {
+	return q.head == q.tail && len(q.overflow) == 0
+}
+
+// peekArrival returns the earliest queued arrival time (consumer side).
+// Per-link FIFO order is arrival order — every record on one link shares
+// the link's delay — so the head record is the earliest; ring entries
+// always predate overflow entries. Returns MaxTime when empty.
+func (q *spsc) peekArrival() sim.Time {
+	if q.head != q.tail {
+		return q.buf[q.head%ringSize].arrival
+	}
+	if len(q.overflow) > 0 {
+		return q.overflow[0].arrival
+	}
+	return sim.MaxTime
+}
+
+// drainInto moves every queued record in FIFO order into *dst, tagging
+// each with the inbound-link ordinal (consumer side, drain phases only).
+// Appending into the shard's reusable pending slice — instead of handing
+// records to a closure — keeps the per-window drain allocation-free once
+// the slice has grown to the steady-state window population.
+func (q *spsc) drainInto(dst *[]pendingArrival, link int) {
 	h, t := q.head, q.tail
 	for ; h < t; h++ {
 		r := &q.buf[h%ringSize]
-		fn(r)
+		*dst = append(*dst, pendingArrival{rec: *r, link: link})
 		*r = record{}
 	}
 	q.head = h
 	for i := range q.overflow {
-		fn(&q.overflow[i])
+		*dst = append(*dst, pendingArrival{rec: q.overflow[i], link: link})
 		q.overflow[i] = record{}
 	}
 	q.overflow = q.overflow[:0]

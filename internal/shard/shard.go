@@ -25,20 +25,38 @@
 // counter in builder call order, so flow keys, RNG seeds, and connection
 // state match the single-engine build exactly. Each hop costs exactly one
 // arrival event in both modes (a pooled propagation event locally, an
-// injected AtCall across a cut), so engine event counts match. The one
-// residual freedom is the engine's FIFO tie-break for events at the exact
-// same nanosecond: an injected arrival acquires its sequence number at
-// the barrier rather than at the remote transmit completion. The topology
-// builders choose partitions where same-instant ties between a cut
-// arrival and an interacting local event are not systematically produced
-// (see BuildDumbbellOn / BuildParkingLotOn), and the experiments package
-// locks the guarantee down with differential tests that require
-// byte-identical reports at 1, 2, and 4 shards.
+// injected AtCallFrom across a cut), so engine event counts match.
+// Cross-shard arrivals carry the virtual time their last bit left the
+// source device, and the destination engine orders events by
+// (time, emission time, seq) — so a same-nanosecond tie between an
+// injected arrival and a local event resolves exactly as it would on a
+// single merged engine, where the arrival's propagation event was
+// scheduled at transmit completion. That makes even dense-traffic links
+// (access links at backbone flow counts) safe to cut. The residual
+// freedom is the coincidence class where both the instant and the
+// emission time collide across shards; there the drain order
+// (arrival, emission, inbound link) decides, deterministically for a
+// fixed topology. The experiments package locks the guarantee down with
+// differential tests that require byte-identical reports at 1, 2, 3, and
+// 4 shards, hand-placed and auto-partitioned.
+//
+// Partitioning is either hand-placed (builders pass shard hints to
+// NodeOn) or automatic: PlanGraph computes a min-cut partition of the
+// recorded topology graph that maximises the lookahead window and
+// balances estimated event load, and NewClusterWithPlan overrides the
+// builder's hints with it (see partition.go).
+//
+// Windows widen adaptively: at each barrier the cluster bounds, per cut
+// link, the earliest instant the source device could complete another
+// transmission (in-flight serialisation, pending local events, queued
+// inbound arrivals) and extends the window to just short of the earliest
+// possible cross-shard arrival when that beats horizon+W. Quiescent
+// stretches then cost barriers proportional to actual traffic, not to
+// elapsed virtual time. SetAdaptive(false) restores fixed-width windows.
 package shard
 
 import (
 	"fmt"
-	"sort"
 
 	"cebinae/internal/netem"
 	"cebinae/internal/packet"
@@ -63,9 +81,36 @@ type Cluster struct {
 	shards []*Shard
 	links  []*cutLink
 	nodes  int
+	// plan, when non-nil, overrides NodeOn's shard hint: the i-th created
+	// node lands on plan[i] (see NewClusterWithPlan).
+	plan []int
 	// horizon is the furthest time Run has advanced to; a later Run call
 	// resumes the window schedule from here instead of replaying it.
 	horizon sim.Time
+	// fixed disables adaptive window widening (SetAdaptive).
+	fixed bool
+	// wake is nextHorizon's per-shard scratch.
+	wake []sim.Time
+	// now, when non-nil, is the wall-clock source for barrier-stall
+	// accounting (Instrument). The simulation itself never reads it.
+	now func() int64
+
+	// Stats accumulates window-scheduling telemetry across Run calls.
+	Stats RunStats
+}
+
+// RunStats is the cluster's window-scheduling telemetry.
+type RunStats struct {
+	// Windows counts barrier-synchronised windows executed.
+	Windows uint64
+	// Widened counts windows whose horizon the adaptive lookahead pushed
+	// beyond the classic horizon+W.
+	Widened uint64
+	// BarrierStallNs sums, over every barrier phase, the wall-clock gap
+	// between the first and the last shard reaching the barrier — the
+	// time imbalanced shards sit idle. Zero unless Instrument installed
+	// a clock.
+	BarrierStallNs int64
 }
 
 // NewCluster returns a cluster of n empty shards (n >= 1). A 1-shard
@@ -83,6 +128,28 @@ func NewCluster(n int) *Cluster {
 	return c
 }
 
+// NewClusterWithPlan returns a cluster that places nodes according to an
+// automatically computed partition plan (PlanGraph / AutoPlan): the i-th
+// NodeOn call lands on plan.Assign[i] regardless of the builder's shard
+// hint. The builder must make exactly the construction calls the plan
+// was recorded from.
+func NewClusterWithPlan(plan Plan) *Cluster {
+	c := NewCluster(plan.Shards)
+	c.plan = plan.Assign
+	return c
+}
+
+// SetAdaptive toggles adaptive window widening (on by default). Fixed
+// windows exist for measurement and for differential tests that pin both
+// schedules to the same byte-identical result.
+func (c *Cluster) SetAdaptive(on bool) { c.fixed = !on }
+
+// Instrument installs a wall-clock source (typically
+// time.Now().UnixNano from the measurement harness — the simulation
+// packages themselves never read wall clocks) enabling barrier-stall
+// accounting in Stats. Pass nil to disable.
+func (c *Cluster) Instrument(now func() int64) { c.now = now }
+
 // Shards returns the partition count.
 func (c *Cluster) Shards() int { return len(c.shards) }
 
@@ -92,8 +159,12 @@ func (c *Cluster) Shard(i int) *Shard { return c.shards[i] }
 // NodeOn creates a node on partition `shard` (clamped to the valid
 // range). IDs come from a cluster-global counter in call order, so the
 // node numbering is identical to the same builder running on a plain
-// Network.
+// Network. On a plan-backed cluster (NewClusterWithPlan) the plan's
+// assignment for this creation ordinal wins over the hint.
 func (c *Cluster) NodeOn(shard int, name string) *netem.Node {
+	if c.plan != nil && c.nodes < len(c.plan) {
+		shard = c.plan[c.nodes]
+	}
 	if shard < 0 {
 		shard = 0
 	}
@@ -117,10 +188,11 @@ func (c *Cluster) Connect(a, b *netem.Node, cfg netem.LinkConfig) (*netem.Device
 	if cfg.Delay <= 0 {
 		panic(fmt.Sprintf("shard: cut link %s<->%s needs positive propagation delay (the conservative lookahead is the minimum cut-link latency)", a.Name, b.Name))
 	}
-	ab := &cutLink{src: c.shards[sa], dst: c.shards[sb], delay: cfg.Delay}
-	ba := &cutLink{src: c.shards[sb], dst: c.shards[sa], delay: cfg.Delay}
+	ab := &cutLink{src: c.shards[sa], dst: c.shards[sb], srcIdx: sa, delay: cfg.Delay}
+	ba := &cutLink{src: c.shards[sb], dst: c.shards[sa], srcIdx: sb, delay: cfg.Delay}
 	da := c.shards[sa].Net.ConnectHalf(a, b.Name, cfg, ab)
 	db := c.shards[sb].Net.ConnectHalf(b, a.Name, cfg, ba)
+	ab.srcDev, ba.srcDev = da, db
 	ab.dstDev, ba.dstDev = db, da
 	c.links = append(c.links, ab, ba)
 	c.shards[sb].inbound = append(c.shards[sb].inbound, ab)
@@ -209,14 +281,11 @@ func (c *Cluster) Run(until sim.Time) {
 		}
 	}()
 	// The window schedule is a pure function of (lookahead, horizon,
-	// until), so it is identical across runs of the same configuration.
+	// until) and of the simulation state at each barrier, so it is
+	// identical across runs of the same configuration.
 	next := c.horizon
 	for {
-		if until-next <= w {
-			next = until
-		} else {
-			next += w
-		}
+		next = c.nextHorizon(next, until, w)
 		// Drain phase: every producer is draining (never pushing), so the
 		// consumers' reads of the handoff queues cannot race. Arrivals
 		// handed off in the previous run phase land strictly beyond that
@@ -225,6 +294,7 @@ func (c *Cluster) Run(until sim.Time) {
 		// Run phase: every shard dispatches up to the window horizon,
 		// pushing cross-shard handoffs for the next drain phase.
 		c.phase(cmds, done, cmd{run: true, h: next})
+		c.Stats.Windows++
 		c.horizon = next
 		if next >= until {
 			return
@@ -232,16 +302,95 @@ func (c *Cluster) Run(until sim.Time) {
 	}
 }
 
+// satAdd adds a non-negative delta to a time, saturating at MaxTime.
+func satAdd(t, d sim.Time) sim.Time {
+	if s := t + d; s >= t {
+		return s
+	}
+	return sim.MaxTime
+}
+
+// nextHorizon picks the next window horizon with the cluster quiescent at
+// `from` (every event up to `from` dispatched, workers parked at the
+// barrier, so reading shard state here is race-free). The classic
+// conservative choice is from+w — any transmission completing inside the
+// window lands at least the minimum cut delay beyond its send time. When
+// every cut link can prove its next possible handoff lies further out —
+// no packet mid-serialisation, no pending local event, no queued inbound
+// arrival that could wake the source shard any earlier — the window
+// widens to just short of the earliest possible cross-shard arrival.
+// Either way every arrival generated inside the window lands strictly
+// beyond it, preserving the "never inject into the past" invariant.
+func (c *Cluster) nextHorizon(from, until, w sim.Time) sim.Time {
+	next := satAdd(from, w)
+	if next > until {
+		next = until
+	}
+	if c.fixed {
+		return next
+	}
+	// wake[i] bounds shard i's next dispatch: its engine's next pending
+	// event or the earliest queued cross-shard arrival about to be
+	// injected into it at the next drain phase.
+	if c.wake == nil {
+		c.wake = make([]sim.Time, len(c.shards))
+	}
+	for i, s := range c.shards {
+		wk := s.Engine.NextEventTime()
+		for _, l := range s.inbound {
+			if a := l.q.peekArrival(); a < wk {
+				wk = a
+			}
+		}
+		c.wake[i] = wk
+	}
+	// bound: no cross-shard arrival generated after `from` can precede it.
+	// A busy device's next handoff is exactly its in-flight completion
+	// (later sends queue behind it); an idle device can only start
+	// transmitting inside some future dispatch on its shard.
+	bound := sim.MaxTime
+	for _, l := range c.links {
+		hb := c.wake[l.srcIdx]
+		if l.srcDev.Busy() {
+			hb = l.srcDev.NextHandoffBound()
+		}
+		if b := satAdd(hb, l.delay); b < bound {
+			bound = b
+		}
+	}
+	if cand := bound - 1; cand > next {
+		if cand > until {
+			cand = until
+		}
+		if cand > next {
+			next = cand
+			c.Stats.Widened++
+		}
+	}
+	return next
+}
+
 // phase issues one command to every worker and joins the barrier,
-// re-raising the first shard failure on the caller's goroutine.
+// re-raising the first shard failure on the caller's goroutine. With an
+// instrumentation clock installed it charges the wall-clock spread
+// between the first and last worker completion to BarrierStallNs.
 func (c *Cluster) phase(cmds []chan cmd, done <-chan any, p cmd) {
 	for _, ch := range cmds {
 		ch <- p
 	}
 	var failure any
-	for range c.shards {
+	var first int64
+	for i := range c.shards {
 		if r := <-done; r != nil && failure == nil {
 			failure = r
+		}
+		if c.now != nil {
+			switch i {
+			case 0:
+				first = c.now()
+			case len(c.shards) - 1:
+				c.Stats.BarrierStallNs += c.now() - first
+			}
 		}
 	}
 	if failure != nil {
@@ -270,31 +419,45 @@ type pendingArrival struct {
 }
 
 // drainInbound empties every inbound queue and injects the packets as
-// arrival events, ordered by (arrival time, inbound link, per-link FIFO).
-// The sort only matters for exact same-nanosecond ties — everything else
-// is ordered by the engine's time comparison — and makes that order a
-// deterministic function of the topology rather than of scheduling.
+// arrival events, ordered by (arrival, emission, inbound link, per-link
+// FIFO). Injection in that order assigns ascending local sequence
+// numbers, so the destination engine's (time, emission time, seq)
+// dispatch order reproduces the single-engine order for every
+// same-instant tie except the exact (arrival, emission) double
+// coincidence across links, which the link ordinal breaks
+// deterministically. The sort is an in-place stable insertion sort —
+// per-link runs arrive already ordered, so it is near-linear and, like
+// the drain itself, allocation-free at steady state (closures and
+// sort.SliceStable's reflection both cost per-window allocations at
+// every barrier; see TestWindowSteadyStateAllocs).
 func (s *Shard) drainInbound() {
 	s.pending = s.pending[:0]
-	for li, l := range s.inbound {
-		li := li
-		l.q.drain(func(r *record) {
-			s.pending = append(s.pending, pendingArrival{rec: *r, link: li})
-		})
+	for li := range s.inbound {
+		s.inbound[li].q.drainInto(&s.pending, li)
 	}
-	sort.SliceStable(s.pending, func(i, j int) bool {
-		a, b := &s.pending[i], &s.pending[j]
-		if a.rec.arrival != b.rec.arrival {
-			return a.rec.arrival < b.rec.arrival
+	p := s.pending
+	for i := 1; i < len(p); i++ {
+		for j := i; j > 0 && arrivalLess(&p[j], &p[j-1]); j-- {
+			p[j], p[j-1] = p[j-1], p[j]
 		}
-		return a.link < b.link
-	})
-	for i := range s.pending {
-		e := &s.pending[i]
-		p := s.Net.Pool().Get()
-		e.rec.restore(p)
-		s.inbound[e.link].dstDev.InjectArrivalAt(e.rec.arrival, p)
 	}
+	for i := range p {
+		e := &p[i]
+		pkt := s.Net.Pool().Get()
+		e.rec.restore(pkt)
+		s.inbound[e.link].dstDev.InjectArrivalFrom(e.rec.arrival, e.rec.sent, pkt)
+	}
+}
+
+// arrivalLess is drainInbound's strict (arrival, emission, link) order.
+func arrivalLess(a, b *pendingArrival) bool {
+	if a.rec.arrival != b.rec.arrival {
+		return a.rec.arrival < b.rec.arrival
+	}
+	if a.rec.sent != b.rec.sent {
+		return a.rec.sent < b.rec.sent
+	}
+	return a.link < b.link
 }
 
 // cutLink is one direction of a severed inter-shard link: the source
@@ -302,6 +465,8 @@ func (s *Shard) drainInbound() {
 // drain phases.
 type cutLink struct {
 	src, dst *Shard
+	srcIdx   int // source shard's index (nextHorizon's wake lookup)
+	srcDev   *netem.Device
 	dstDev   *netem.Device
 	delay    sim.Time
 	q        spsc
@@ -311,9 +476,9 @@ type cutLink struct {
 // (a run phase): copy the packet into a pool-free record, release the
 // source packet, and queue the record for the destination's next drain
 // phase.
-func (l *cutLink) Handoff(p *packet.Packet, arrival sim.Time) {
+func (l *cutLink) Handoff(p *packet.Packet, sent, arrival sim.Time) {
 	var r record
-	r.capture(p, arrival)
+	r.capture(p, sent, arrival)
 	l.src.Net.Pool().Put(p)
 	l.q.push(&r)
 }

@@ -85,8 +85,17 @@ const (
 // already-cancelled event is a no-op. The zero Event is an idle caller-owned
 // event ready for ScheduleOwned.
 type Event struct {
-	at  Time
-	seq uint64
+	at Time
+	// schedAt is the virtual time at which the event was scheduled. It is
+	// the middle key of the dispatch order (see eventLess): for locally
+	// scheduled events it equals Now() at scheduling time, which is
+	// non-decreasing in seq, so it never perturbs single-engine order.
+	// Its purpose is cross-engine injection (AtCallFrom): an event
+	// injected by a conservative-parallel runner carries the virtual time
+	// the *source* engine emitted it, which slots it among same-instant
+	// local events exactly where a single merged engine would have.
+	schedAt Time
+	seq     uint64
 	// pos is the event's heap position plus one; 0 means not queued
 	// (fired, cancelled, or never scheduled). The +1 offset makes the
 	// zero Event value valid as an idle ScheduleOwned event.
@@ -161,7 +170,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{at: t, seq: e.seq, kind: kindClosure, callback: fn}
+	ev := &Event{at: t, schedAt: e.now, seq: e.seq, kind: kindClosure, callback: fn}
 	e.seq++
 	e.heapPush(ev)
 	return ev
@@ -184,6 +193,30 @@ func (e *Engine) AtCall(t Time, h Handler, arg any) {
 	if t < e.now {
 		t = e.now
 	}
+	e.atCallFrom(t, e.now, h, arg)
+}
+
+// AtCallFrom runs h.OnEvent(arg) at absolute virtual time t, ordered among
+// same-instant events as if it had been scheduled when the clock read
+// `from` — which may be in this engine's past. It exists for
+// cross-engine injection by conservative-parallel runners
+// (internal/shard): a packet handed across a cut link was emitted by the
+// source engine at virtual time `from` and arrives at t; carrying `from`
+// as the event's scheduling stamp makes the merged dispatch order at
+// instant t byte-identical to a single engine that had scheduled the
+// arrival during its own dispatch at `from`. Same pooling as AtCall.
+// Panics if from > t (an arrival cannot precede its emission).
+func (e *Engine) AtCallFrom(t, from Time, h Handler, arg any) {
+	if from > t {
+		panic("sim: AtCallFrom with scheduling stamp after the deadline")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.atCallFrom(t, from, h, arg)
+}
+
+func (e *Engine) atCallFrom(t, from Time, h Handler, arg any) {
 	var ev *Event
 	if n := len(e.free); n > 0 {
 		ev = e.free[n-1]
@@ -193,6 +226,7 @@ func (e *Engine) AtCall(t Time, h Handler, arg any) {
 		ev = &Event{}
 	}
 	ev.at = t
+	ev.schedAt = from
 	ev.seq = e.seq
 	ev.kind = kindPooled
 	ev.handler = h
@@ -214,6 +248,7 @@ func (e *Engine) ScheduleOwned(ev *Event, d Time, h Handler, arg any) {
 		d = 0
 	}
 	ev.at = e.now + d
+	ev.schedAt = e.now
 	ev.seq = e.seq
 	ev.kind = kindOwned
 	ev.handler = h
@@ -248,6 +283,24 @@ func (e *Engine) Stop() { e.stopped = true }
 // Pending returns the number of events waiting to fire, including timers
 // parked in the timing wheel.
 func (e *Engine) Pending() int { return len(e.queue) + e.wheel.count }
+
+// NextEventTime returns a lower bound on the time of the engine's next
+// pending event, or MaxTime when nothing is pending. The heap top is
+// exact; wheel-resident timers contribute the start of their earliest
+// occupied slot, which is at or before any parked deadline — so the
+// returned value never overshoots a real event. Conservative-parallel
+// runners use it to bound how soon a quiescent engine could emit
+// anything new.
+func (e *Engine) NextEventTime() Time {
+	t := MaxTime
+	if len(e.queue) > 0 {
+		t = e.queue[0].at
+	}
+	if e.wheel.count > 0 && e.wheel.earliest < t {
+		t = e.wheel.earliest
+	}
+	return t
+}
 
 // Run dispatches events in time order until the queue empties, the clock
 // would pass `until`, or Stop is called. It returns the virtual time at
@@ -326,25 +379,32 @@ func (e *Engine) RunAll() Time { return e.Run(MaxTime) }
 // parallel runners (internal/shard): it advances the clock to exactly t,
 // dispatching every event with at <= t, and may be called repeatedly with
 // increasing horizons. Between calls the engine is quiescent — events
-// injected from outside (cross-shard arrivals via AtCall) are merged into
-// the queue and dispatched in (time, seq) order exactly as if they had
-// been scheduled locally, which is what makes a sharded run reproduce the
-// single-engine event stream.
+// injected from outside (cross-shard arrivals via AtCallFrom) are merged
+// into the queue and dispatched in (time, emission time, seq) order
+// exactly as if they had been scheduled locally by a single merged
+// engine, which is what makes a sharded run reproduce the single-engine
+// event stream.
 func (e *Engine) RunUntil(t Time) Time { return e.Run(t) }
 
 // ---------------------------------------------------------------------------
-// Inlined 4-ary min-heap over (at, seq).
+// Inlined 4-ary min-heap over (at, schedAt, seq).
 //
 // A 4-ary layout halves the tree depth of a binary heap, and inlining it
 // over []*Event (instead of container/heap's interface dispatch and `any`
 // boxing) keeps push/pop monomorphic and allocation-free. FIFO tie-breaking
 // for same-instant events falls out of comparing the monotonically
-// increasing seq.
+// increasing seq; the schedAt middle key is a no-op for locally scheduled
+// events (it is non-decreasing in seq) and exists so cross-engine
+// injections (AtCallFrom) sort by emission time first — see the Event
+// field comment.
 // ---------------------------------------------------------------------------
 
 func eventLess(a, b *Event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
 	}
 	return a.seq < b.seq
 }

@@ -14,10 +14,10 @@ import "math/bits"
 // timing wheel (Varghese–Lauck), where stop and re-arm are O(1) list
 // unlinks instead of heap removals. As the clock approaches a timer's
 // deadline its wheel slot is flushed into the main event heap, so firing
-// order is governed by exactly the same (time, seq) comparison as every
-// other event: a Timer armed by the n-th scheduling call fires precisely
-// where the n-th Schedule/ScheduleCall would have — wheel placement is
-// invisible to the event stream.
+// order is governed by exactly the same (time, schedule time, seq)
+// comparison as every other event: a Timer armed by the n-th scheduling
+// call fires precisely where the n-th Schedule/ScheduleCall would have —
+// wheel placement is invisible to the event stream.
 type Timer struct {
 	// ev is the timer's residency in the engine's heap while it is within
 	// the imminent horizon; ev.arg permanently back-points to the Timer.
@@ -66,6 +66,7 @@ func (e *Engine) ArmTimerAt(t *Timer, at Time, h Handler, arg any) {
 		at = e.now
 	}
 	t.ev.at = at
+	t.ev.schedAt = e.now
 	t.ev.seq = e.seq
 	t.ev.kind = kindTimer
 	if t.ev.arg == nil {
