@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race race-shard speedup-smoke cover bench bench-smoke benchjson report sweep clean
+.PHONY: check build vet lint test race race-shard speedup-smoke scenario-conformance cover bench bench-smoke benchjson report sweep clean
 
 check: build vet lint race
 
@@ -48,6 +48,15 @@ race-shard:
 # chain spec must not run materially slower than single-engine.
 speedup-smoke:
 	CEBINAE_SPEEDUP_SMOKE=1 $(GO) test -run 'TestShardSpeedupSmoke' -v ./internal/benchkit/
+
+# The declarative-scenario gate (mirrors the scenario-conformance CI
+# job): canonical spec files stay byte-identical with their hand-built Go
+# twins, validation diagnostics match their goldens, the CCA tournament /
+# buffer sweeps hold the BBR-fairness signature, and a short fuzz run
+# holds the parse→emit→parse round-trip law.
+scenario-conformance:
+	$(GO) test -run 'TestCanonicalFiles|TestEmitLoadIdentity|TestDifferential|TestDiagnosticsGolden|TestTournamentConformance|TestBufferSweepConformance' ./internal/scenario/
+	$(GO) test -run '^$$' -fuzz FuzzScenarioLoad -fuzztime 25s ./internal/scenario/
 
 # Statement coverage over the library packages, gated at a ratcheted
 # minimum (raise COVER_MIN when coverage improves; never lower it). The

@@ -11,6 +11,7 @@
 //	cebinae-bench -scale full -only table2     # one experiment, paper length
 //	cebinae-bench -only fig7,fig12,table3
 //	cebinae-bench -scale medium -p 8 -resume bench.jsonl   # checkpoint + resume
+//	cebinae-bench -scenario 'scenarios/*.json' -only scenario/multihop   # spec-file sections
 //	cebinae-bench -benchjson BENCH_baseline.json           # perf snapshot only
 //	cebinae-bench -scale medium -cpuprofile cpu.pprof      # profile the fleet
 //
@@ -24,8 +25,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -33,6 +36,7 @@ import (
 	"cebinae/experiments"
 	"cebinae/internal/benchkit"
 	"cebinae/internal/fleet"
+	"cebinae/internal/scenario"
 )
 
 func main() {
@@ -44,6 +48,7 @@ func main() {
 		shards     = flag.String("shards", "1", "engines per scenario (a count or \"auto\"; placement is min-cut partitioned); the worker pool is divided by this so sweeps and sharding compose")
 		timeout    = flag.Duration("timeout", 0, "per-job wall-clock watchdog (0 = none), e.g. 10m")
 		resume     = flag.String("resume", "", "JSONL checkpoint store path; already-completed jobs in it are skipped")
+		scenFiles  = flag.String("scenario", "", "comma list of declarative scenario files or globs appended to the report as extra sections (ids: scenario/<name>)")
 		benchjson  = flag.String("benchjson", "", "run the perf microbenchmark suite and write results to this JSON file (skips the report)")
 		benchHeavy = flag.Bool("bench-heavy", false, "with -benchjson: also score the million-flow backbone tier (tens of seconds per op, hundreds of MB live)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -59,7 +64,7 @@ func main() {
 	if *benchjson != "" {
 		err = runBenchJSON(*benchjson, *benchHeavy)
 	} else {
-		err = runReport(*scaleFlag, *only, *outPath, *parallel, *shards, *timeout, *resume)
+		err = runReport(*scaleFlag, *only, *outPath, *parallel, *shards, *timeout, *resume, *scenFiles)
 	}
 	// fatal calls os.Exit, which would skip deferred profile writers — stop
 	// them explicitly before deciding the exit path.
@@ -139,7 +144,34 @@ func runBenchJSON(path string, heavy bool) error {
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
-func runReport(scaleFlag, only, outPath string, parallel int, shardsFlag string, timeout time.Duration, resume string) error {
+// scenarioSections loads each matched scenario file and packages it as a
+// bench-report section (id scenario/<name>), so declarative workloads ride
+// the same fleet, checkpoint store, and -only filter as the paper sections.
+func scenarioSections(patterns string) ([]experiments.BenchSection, error) {
+	var sections []experiments.BenchSection
+	for _, pat := range strings.Split(patterns, ",") {
+		pat = strings.TrimSpace(pat)
+		matches, err := filepath.Glob(pat)
+		if err != nil || len(matches) == 0 {
+			return nil, fmt.Errorf("-scenario pattern %q matches no files", pat)
+		}
+		sort.Strings(matches)
+		for _, path := range matches {
+			spec, err := scenario.Load(path)
+			if err != nil {
+				return nil, err
+			}
+			c, err := scenario.Compile(spec)
+			if err != nil {
+				return nil, err
+			}
+			sections = append(sections, c.Section(""))
+		}
+	}
+	return sections, nil
+}
+
+func runReport(scaleFlag, only, outPath string, parallel int, shardsFlag string, timeout time.Duration, resume, scenFiles string) error {
 	scale, err := parseScale(scaleFlag)
 	if err != nil {
 		return err
@@ -154,6 +186,13 @@ func runReport(scaleFlag, only, outPath string, parallel int, shardsFlag string,
 	shardCores := experiments.ResolvedShards(shards)
 
 	sections := experiments.BenchSections(scale)
+	if scenFiles != "" {
+		extra, err := scenarioSections(scenFiles)
+		if err != nil {
+			return err
+		}
+		sections = append(sections, extra...)
+	}
 	if only != "" {
 		want := map[string]bool{}
 		for _, id := range strings.Split(only, ",") {

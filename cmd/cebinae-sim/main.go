@@ -8,6 +8,7 @@
 //	cebinae-sim -bw 100M -buffer 850 -flows newreno:16,cubic:1 -rtt 50ms -qdisc cebinae -duration 30s
 //	cebinae-sim -bw 1G -buffer 4200 -flows newreno:128,bbr:1 -rtt 50ms -qdisc fifo -duration 10s
 //	cebinae-sim -backbone 100000 -duration 400ms -shards 4   # 1e5-flow replay tier
+//	cebinae-sim -scenario scenarios/multihop.json -shards auto   # declarative workload
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"cebinae/experiments"
+	"cebinae/internal/scenario"
 )
 
 func main() {
@@ -33,12 +35,20 @@ func main() {
 		tau      = flag.Float64("tau", -1, "override Cebinae τ (fraction; -1 = default 0.01)")
 		shards   = flag.String("shards", "1", "engines for the run (conservative parallel sharding): a count, or \"auto\" to size to the machine; placement is min-cut partitioned either way")
 		backbone = flag.Int("backbone", 0, "run the backbone replay tier with this many standing flows (e.g. 100000) instead of the TCP dumbbell")
+		specFile = flag.String("scenario", "", "run a declarative scenario file (see scenarios/); the spec owns every knob except -shards, which overrides when given explicitly")
 	)
 	flag.Parse()
 
 	nShards, err := experiments.ParseShards(*shards)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *specFile != "" {
+		if err := runScenarioFile(*specFile, nShards); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *backbone > 0 {
@@ -70,6 +80,42 @@ func main() {
 		fmt.Printf("cebinae: %d rotations, %d recomputes, %d phase changes, %d delayed, %d LBF drops, %d buffer drops, %d ECN marks\n",
 			st.Rotations, st.Recomputes, st.PhaseChanges, st.Delayed, st.LBFDrops, st.BufferDrops, st.ECNMarked)
 	}
+}
+
+// runScenarioFile loads, compiles, and runs one declarative scenario
+// file, printing its canonical report. The spec owns every knob; only an
+// explicitly-passed -shards flag overrides its shard hint.
+func runScenarioFile(path string, shards int) error {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	c, err := scenario.Compile(spec)
+	if err != nil {
+		return err
+	}
+	if flagWasSet("shards") {
+		c.SetShards(shards)
+	}
+	start := time.Now()
+	report := c.RunReport()
+	elapsed := time.Since(start)
+	fmt.Printf("%s scenario %q (%s)\n", spec.Kind, spec.Name, path)
+	fmt.Print(report)
+	fmt.Printf("wall: %v\n", elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// flagWasSet reports whether the named flag appeared on the command line
+// (as opposed to holding its default).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // runBackbone drives the replay scale tier from the CLI: the canonical

@@ -10,6 +10,7 @@
 //	cebinae-sweep -qdiscs fifo,cebinae -thresholds 1,5,25 -flows vegas:16,newreno:1
 //	cebinae-sweep -resume -store sweep.jsonl       # finish an interrupted grid
 //	cebinae-sweep -backbone 20000,100000           # replay scale tiers × {fifo,cebinae}
+//	cebinae-sweep -scenario 'scenarios/*.json'     # declarative scenario files as the grid
 //
 // Progress and timing go to stderr; the text table goes to stdout; the
 // JSONL store and CSV summary go to -store / -csv.
@@ -19,14 +20,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"cebinae/experiments"
 	"cebinae/internal/fleet"
+	"cebinae/internal/scenario"
 )
 
 func main() {
@@ -44,6 +48,7 @@ func main() {
 		shards     = flag.String("shards", "1", "engines per grid cell (a count or \"auto\"; placement is min-cut partitioned); the worker pool is divided by this")
 		timeout    = flag.Duration("timeout", 0, "per-job wall-clock watchdog (0 = none), e.g. 10m")
 		backbone   = flag.String("backbone", "", "comma list of standing-flow tiers (e.g. 20000,100000): sweep the backbone replay grid (tiers × qdiscs) instead of the dumbbell family")
+		specFiles  = flag.String("scenario", "", "comma list of declarative scenario files or globs (e.g. 'scenarios/*.json'): the sweep grid is the scenarios' jobs instead of a hardcoded family")
 		storePath  = flag.String("store", "sweep.jsonl", "JSONL result store (one line per completed grid cell)")
 		resume     = flag.Bool("resume", false, "reuse an existing store, skipping its completed cells")
 		csvPath    = flag.String("csv", "sweep.csv", "CSV summary path (empty = skip)")
@@ -65,6 +70,13 @@ func main() {
 	// The fleet budgets cores per job, so "auto" resolves to its concrete
 	// machine-sized count before the pool is divided.
 	shardCores := experiments.ResolvedShards(nShards)
+
+	if *specFiles != "" {
+		if err := runScenarioSweep(*specFiles, nShards, *parallel, shardCores, *timeout, *storePath, *resume); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *backbone != "" {
 		if err := runBackboneSweep(*backbone, *qdiscs, *scales, *parallel, shardCores, *timeout, *storePath, *resume, *csvPath); err != nil {
@@ -145,6 +157,86 @@ func main() {
 	if sum.Failed > 0 {
 		fatal(fmt.Errorf("%d grid cell(s) failed — inspect %s", sum.Failed, *storePath))
 	}
+}
+
+// runScenarioSweep is the -scenario grid: every matched spec file loads,
+// compiles, and contributes its fleet jobs (one per grid cell for
+// tournament/buffer-sweep specs, one job otherwise) to a single
+// checkpointed run, then each scenario's canonical report is reassembled
+// from the store — same resume semantics as the hardcoded grids.
+func runScenarioSweep(patterns string, shards, parallel, shardCores int, timeout time.Duration, storePath string, resume bool) error {
+	var paths []string
+	for _, pat := range strings.Split(patterns, ",") {
+		pat = strings.TrimSpace(pat)
+		matches, err := filepath.Glob(pat)
+		if err != nil || len(matches) == 0 {
+			return fmt.Errorf("-scenario pattern %q matches no files", pat)
+		}
+		paths = append(paths, matches...)
+	}
+	sort.Strings(paths)
+
+	shardsSet := false
+	flag.Visit(func(f *flag.Flag) { shardsSet = shardsSet || f.Name == "shards" })
+
+	var compiled []*scenario.Compiled
+	var jobs []fleet.Job
+	for _, path := range paths {
+		spec, err := scenario.Load(path)
+		if err != nil {
+			return err
+		}
+		c, err := scenario.Compile(spec)
+		if err != nil {
+			return err
+		}
+		if shardsSet {
+			c.SetShards(shards)
+		}
+		compiled = append(compiled, c)
+		jobs = append(jobs, c.Jobs("")...)
+	}
+
+	if !resume {
+		if _, err := os.Stat(storePath); err == nil {
+			return fmt.Errorf("store %s already exists; pass -resume to continue it or remove it for a fresh sweep", storePath)
+		}
+	}
+	store, err := fleet.OpenStore(storePath)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	fmt.Fprintf(os.Stderr, "cebinae-sweep: %d scenario jobs from %d files (%d already in %s)\n",
+		len(jobs), len(paths), store.Len(), storePath)
+	start := time.Now()
+	sum, err := fleet.Run(jobs, fleet.Options{
+		Parallelism: parallel,
+		CoresPerJob: shardCores,
+		Timeout:     timeout,
+		Store:       store,
+		Progress:    os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+
+	get := experiments.SummaryGetter(sum)
+	for i, c := range compiled {
+		report, err := c.Render("", get)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== %s scenario %q (%s)\n%s", c.Spec.Kind, c.Spec.Name, paths[i], report)
+	}
+
+	fmt.Fprintf(os.Stderr, "cebinae-sweep: %v elapsed for %v of simulation work — %.2fx vs sequential; JSONL %s\n",
+		time.Since(start).Round(time.Millisecond), sum.Work.Round(time.Millisecond), sum.Speedup(), storePath)
+	if sum.Failed > 0 {
+		return fmt.Errorf("%d scenario job(s) failed — inspect %s", sum.Failed, storePath)
+	}
+	return nil
 }
 
 // runBackboneSweep is the -backbone grid: standing-flow tiers × core

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cebinae/internal/core"
+	"cebinae/internal/metrics"
+	"cebinae/internal/netem"
+	"cebinae/internal/packet"
+	"cebinae/internal/qdisc"
+	"cebinae/internal/tcp"
+)
+
+// ChainConfig parameterises the multi-bottleneck chain scenario (the
+// Fig.-11 parking lot, generalised): long flows traverse every hop of a
+// switch chain while per-hop cross traffic contends at each inter-switch
+// link. It is the builder behind RunParkingLotShards and the "chain"
+// scenario-file kind, so a spec file and the hand-built Go scenario lower
+// to the identical construction.
+type ChainConfig struct {
+	Name        string
+	Hops        int
+	LongFlows   int
+	CrossPerHop []int
+	// LongCC drives the end-to-end flows; CrossCCs[h] drives hop h's
+	// cross traffic.
+	LongCC   string
+	CrossCCs []string
+	// BottleneckBps / BufferBytes size each inter-switch link and its
+	// queue; LinkDelay / AccessDelay are the one-way propagation delays.
+	BottleneckBps float64
+	BufferBytes   int
+	LinkDelay     SimTime
+	AccessDelay   SimTime
+	// Qdisc is the discipline at every inter-switch (forward) port.
+	Qdisc QdiscKind
+	// CebinaeRTT seeds DefaultParams for Cebinae bottlenecks (the max
+	// base RTT the mechanism should assume).
+	CebinaeRTT SimTime
+	Duration   SimTime
+	Seed       uint64
+	Shards     int
+}
+
+// CanonicalChain is the Fig.-11 parking-lot configuration: 8 NewReno long
+// flows against 2 Bic / 8 Vegas / 4 Cubic cross flows over three
+// 100 Mbps bottlenecks.
+func CanonicalChain(kind QdiscKind, dur SimTime, shards int) ChainConfig {
+	return ChainConfig{
+		Name:          fmt.Sprintf("chain/%s", kind),
+		Hops:          3,
+		LongFlows:     8,
+		CrossPerHop:   []int{2, 8, 4},
+		LongCC:        "newreno",
+		CrossCCs:      []string{"bic", "vegas", "cubic"},
+		BottleneckBps: 100e6,
+		BufferBytes:   850 * 1500,
+		LinkDelay:     ms(5),
+		AccessDelay:   ms(5),
+		Qdisc:         kind,
+		CebinaeRTT:    ms(120),
+		Duration:      dur,
+		Shards:        shards,
+	}
+}
+
+// ChainFlowResult is one chain flow's measured outcome.
+type ChainFlowResult struct {
+	Index int
+	// Label names the flow in paper order: long flows first, then each
+	// hop's cross flows.
+	Label      string
+	CC         string
+	GoodputBps float64
+}
+
+// ChainResult aggregates a chain run.
+type ChainResult struct {
+	Name   string
+	Flows  []ChainFlowResult
+	JFI    float64
+	Events uint64
+}
+
+// Goodputs returns the per-flow goodputs (bits/sec) in paper order.
+func (r ChainResult) Goodputs() []float64 {
+	out := make([]float64, len(r.Flows))
+	for i, f := range r.Flows {
+		out[i] = f.GoodputBps
+	}
+	return out
+}
+
+// Report renders the chain run in canonical byte-stable form (the
+// differential tests compare these bytes across spec-vs-Go builds and
+// shard counts).
+func (r ChainResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chain %s: %d flows, events=%d, JFI=%.9f\n", r.Name, len(r.Flows), r.Events, r.JFI)
+	for _, f := range r.Flows {
+		fmt.Fprintf(&b, "%4d %-12s %-8s %14.6f\n", f.Index, f.Label, f.CC, f.GoodputBps)
+	}
+	return b.String()
+}
+
+// RunChain builds and runs the chain for one configuration, returning
+// per-flow goodputs in paper order plus the total dispatched event count;
+// both are byte-identical at any shard count.
+func RunChain(cfg ChainConfig) ChainResult {
+	btlQdisc := func(dev *netem.Device) netem.Qdisc {
+		eng := dev.Node().Engine()
+		switch cfg.Qdisc {
+		case FQ:
+			return qdisc.NewFQCoDel(eng, cfg.BufferBytes, 0, qdisc.DefaultCoDelParams())
+		case Cebinae:
+			cq := core.New(eng, cfg.BottleneckBps, cfg.BufferBytes, core.DefaultParams(cfg.BottleneckBps, cfg.BufferBytes, cfg.CebinaeRTT))
+			cq.OnDrain = dev.Kick
+			return cq
+		default:
+			return qdisc.NewFIFO(cfg.BufferBytes)
+		}
+	}
+	build := func(f netem.Fabric) *netem.ParkingLot {
+		return netem.BuildParkingLotOn(f, netem.ParkingLotConfig{
+			Hops:            cfg.Hops,
+			LongFlows:       cfg.LongFlows,
+			CrossPerHop:     cfg.CrossPerHop,
+			BottleneckBps:   cfg.BottleneckBps,
+			LinkDelay:       cfg.LinkDelay,
+			AccessDelay:     cfg.AccessDelay,
+			BottleneckQdisc: btlQdisc,
+			DefaultQdisc:    func() netem.Qdisc { return qdisc.NewFIFO(64 << 20) },
+		})
+	}
+	cl := newCluster(cfg.Shards, func(f netem.Fabric) { build(f) })
+	pl := build(cl)
+
+	type ep struct {
+		s, r  *netem.Node
+		cc    string
+		label string
+	}
+	var eps []ep
+	for i := 0; i < cfg.LongFlows; i++ {
+		eps = append(eps, ep{pl.LongSenders[i], pl.LongReceivers[i], cfg.LongCC, fmt.Sprintf("long%d", i)})
+	}
+	for h := 0; h < cfg.Hops; h++ {
+		for c := range pl.CrossSenders[h] {
+			eps = append(eps, ep{pl.CrossSenders[h][c], pl.CrossReceivers[h][c], cfg.CrossCCs[h], fmt.Sprintf("x%d.%d", h+1, c)})
+		}
+	}
+
+	meters := make([]*metrics.FlowMeter, len(eps))
+	for i, e := range eps {
+		cc, ok := tcp.NewCC(e.cc)
+		if !ok {
+			panic("unknown cc " + e.cc)
+		}
+		key := packet.FlowKey{Src: e.s.ID, Dst: e.r.ID, SrcPort: uint16(1000 + i), DstPort: uint16(5000 + i), Proto: packet.ProtoTCP}
+		tcp.NewConn(e.s.Engine(), e.s, tcp.Config{Key: key, CC: cc, Seed: cfg.Seed + uint64(i), MinRTO: Seconds(1)})
+		recv := tcp.NewReceiver(e.r.Engine(), e.r, tcp.ReceiverConfig{Key: key})
+		m := &metrics.FlowMeter{}
+		recv.GoodputAt = m.Record
+		meters[i] = m
+	}
+	cl.Run(cfg.Duration)
+
+	res := ChainResult{Name: cfg.Name, Events: cl.Processed()}
+	rates := make([]float64, len(eps))
+	for i, m := range meters {
+		rates[i] = m.RateOver(cfg.Duration/5, cfg.Duration)
+		res.Flows = append(res.Flows, ChainFlowResult{
+			Index: i, Label: eps[i].label, CC: eps[i].cc, GoodputBps: rates[i] * 8,
+		})
+	}
+	res.JFI = metrics.JFI(rates)
+	return res
+}

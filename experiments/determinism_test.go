@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"reflect"
 	"testing"
 )
@@ -27,20 +26,9 @@ func determinismScenario() Scenario {
 	}
 }
 
-// renderResult flattens a Result into a canonical text form — the same kind
-// of byte stream a report file would carry — so run-to-run drift anywhere in
-// the pipeline shows up as a byte difference.
-func renderResult(r Result) string {
-	s := fmt.Sprintf("events=%d throughput=%.6f goodput=%.6f jfi=%.9f\n",
-		r.Events, r.ThroughputBps, r.GoodputBps, r.JFI)
-	for _, f := range r.Flows {
-		s += fmt.Sprintf("flow %d cc=%s rtt=%d goodput=%.6f series=%v\n",
-			f.Index, f.CC, f.RTT, f.GoodputBps, f.Series)
-	}
-	s += fmt.Sprintf("jfiseries=%v states=%s\n", r.JFISeries, r.StateSeries)
-	s += fmt.Sprintf("cebstats=%+v\n", r.CebStats)
-	return s
-}
+// renderResult is Result.Report — kept as a local alias so the
+// determinism tests read as comparing canonical byte streams.
+func renderResult(r Result) string { return r.Report() }
 
 // differentialScenarios is the scenario family every shard count must
 // reproduce byte-for-byte: the full determinism scenario (Cebinae with

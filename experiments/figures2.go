@@ -8,12 +8,9 @@ import (
 	"cebinae/internal/hhcache"
 	"cebinae/internal/maxmin"
 	"cebinae/internal/metrics"
-	"cebinae/internal/netem"
 	"cebinae/internal/packet"
-	"cebinae/internal/qdisc"
 	"cebinae/internal/resource"
 	"cebinae/internal/sim"
-	"cebinae/internal/tcp"
 	"cebinae/internal/trace"
 )
 
@@ -102,74 +99,11 @@ func runParkingLot(kind QdiscKind, dur sim.Time) []float64 {
 // machine-sized count; placement comes from the min-cut planner). It
 // returns per-flow goodputs in paper order plus the total dispatched
 // event count; both are byte-identical at any shard count, which the
-// differential regression tests assert.
+// differential regression tests assert. The construction itself lives in
+// RunChain — the same builder the "chain" scenario-file kind lowers to.
 func RunParkingLotShards(kind QdiscKind, dur sim.Time, shards int) ([]float64, uint64) {
-	const (
-		rate    = 100e6
-		bufMTUs = 850
-	)
-	btlQdisc := func(dev *netem.Device) netem.Qdisc {
-		eng := dev.Node().Engine()
-		switch kind {
-		case FQ:
-			return qdisc.NewFQCoDel(eng, bufMTUs*1500, 0, qdisc.DefaultCoDelParams())
-		case Cebinae:
-			cq := core.New(eng, rate, bufMTUs*1500, core.DefaultParams(rate, bufMTUs*1500, ms(120)))
-			cq.OnDrain = dev.Kick
-			return cq
-		default:
-			return qdisc.NewFIFO(bufMTUs * 1500)
-		}
-	}
-	build := func(f netem.Fabric) *netem.ParkingLot {
-		return netem.BuildParkingLotOn(f, netem.ParkingLotConfig{
-			Hops:            3,
-			LongFlows:       8,
-			CrossPerHop:     []int{2, 8, 4},
-			BottleneckBps:   rate,
-			LinkDelay:       ms(5),
-			AccessDelay:     ms(5),
-			BottleneckQdisc: btlQdisc,
-			DefaultQdisc:    func() netem.Qdisc { return qdisc.NewFIFO(64 << 20) },
-		})
-	}
-	cl := newCluster(shards, func(f netem.Fabric) { build(f) })
-	pl := build(cl)
-
-	type ep struct {
-		s, r *netem.Node
-		cc   string
-	}
-	var eps []ep
-	for i := 0; i < 8; i++ {
-		eps = append(eps, ep{pl.LongSenders[i], pl.LongReceivers[i], "newreno"})
-	}
-	crossCCs := []string{"bic", "vegas", "cubic"}
-	for h := 0; h < 3; h++ {
-		for c := range pl.CrossSenders[h] {
-			eps = append(eps, ep{pl.CrossSenders[h][c], pl.CrossReceivers[h][c], crossCCs[h]})
-		}
-	}
-
-	meters := make([]*metrics.FlowMeter, len(eps))
-	for i, e := range eps {
-		cc, ok := tcp.NewCC(e.cc)
-		if !ok {
-			panic("unknown cc " + e.cc)
-		}
-		key := packet.FlowKey{Src: e.s.ID, Dst: e.r.ID, SrcPort: uint16(1000 + i), DstPort: uint16(5000 + i), Proto: packet.ProtoTCP}
-		tcp.NewConn(e.s.Engine(), e.s, tcp.Config{Key: key, CC: cc, Seed: uint64(i), MinRTO: Seconds(1)})
-		recv := tcp.NewReceiver(e.r.Engine(), e.r, tcp.ReceiverConfig{Key: key})
-		m := &metrics.FlowMeter{}
-		recv.GoodputAt = m.Record
-		meters[i] = m
-	}
-	cl.Run(dur)
-	out := make([]float64, len(eps))
-	for i, m := range meters {
-		out[i] = m.RateOver(dur/5, dur) * 8
-	}
-	return out, cl.Processed()
+	r := RunChain(CanonicalChain(kind, dur, shards))
+	return r.Goodputs(), r.Events
 }
 
 // Render prints per-flow goodputs against the ideal.

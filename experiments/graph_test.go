@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallGraph is a compact two-switch instance of the multi-hop family:
+// two sender groups on s1 (one crossing the core toward receivers on s2),
+// Cebinae guarding the downlink ports, enough to exercise switch routing,
+// per-port qdiscs, and fan-in.
+func smallGraph(shards int) GraphConfig {
+	return GraphConfig{
+		Name:     "graph/small",
+		Switches: []GraphSwitch{{Name: "t1"}, {Name: "t2"}},
+		Links: []GraphLink{
+			{A: "t1", B: "t2", RateBps: 200e6, Delay: ms(2)},
+		},
+		Hosts: []GraphHostGroup{
+			{Name: "s1", Count: 3, Attach: "t1", RateBps: 100e6, Delay: ms(1)},
+			{Name: "s2", Count: 2, Attach: "t1", RateBps: 100e6, Delay: ms(1)},
+			{Name: "r1", Count: 1, Attach: "t2", RateBps: 100e6, Delay: ms(1),
+				DownQdisc: PortQdisc{Kind: Cebinae, BufferBytes: 1 << 20, CebinaeRTT: ms(40)}},
+			{Name: "r2", Count: 1, Attach: "t2", RateBps: 100e6, Delay: ms(1),
+				DownQdisc: PortQdisc{Kind: Cebinae, BufferBytes: 1 << 20, CebinaeRTT: ms(40)}},
+		},
+		Flows: []GraphFlowGroup{
+			{From: "s1", To: "r1", CC: "newreno"},
+			{From: "s2", To: "r2", CC: "cubic", StartAt: Millis(100)},
+		},
+		Duration: Seconds(1),
+		Seed:     3,
+		Shards:   shards,
+	}
+}
+
+func TestGraphRunsAndIsShardInvariant(t *testing.T) {
+	want := RunGraph(smallGraph(1))
+	if len(want.Flows) != 5 {
+		t.Fatalf("flows = %d, want 5", len(want.Flows))
+	}
+	for _, f := range want.Flows {
+		if f.GoodputBps <= 0 {
+			t.Fatalf("flow %d (%s #%d) made no progress", f.Index, f.Group, f.Host)
+		}
+	}
+	if want.JFI <= 0 || want.JFI > 1 {
+		t.Fatalf("JFI = %v out of range", want.JFI)
+	}
+	if !strings.Contains(want.Report(), "graph graph/small: 5 flows") {
+		t.Fatalf("report header malformed:\n%s", want.Report())
+	}
+	for _, shards := range []int{2, ShardAuto} {
+		got := RunGraph(smallGraph(shards))
+		if got.Report() != want.Report() {
+			t.Fatalf("shards=%d report differs\n--- shards=1\n%s--- shards=%d\n%s",
+				shards, want.Report(), shards, got.Report())
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cebinae/internal/fleet"
+)
+
+// The grid scenario family enumerates dumbbell cells over a parameter
+// cross-product and reports one fairness row per cell. Two generators
+// exist: the CCA tournament (every CCA pair × RTT ratio × buffer depth,
+// after CoCo-Beholder's testbed matrices) and the buffer-depth fairness
+// sweep (a fixed CC mix — canonically BBRv1 vs Cubic — across buffer
+// sizes, after the BBR-fairness study's grid). Cells are independent
+// simulations, so a grid fans out over the fleet worker pool one job per
+// cell and reassembles deterministically by cell ID.
+
+// GridCell is one independent dumbbell simulation within a grid.
+type GridCell struct {
+	ID       string
+	Label    string
+	Scenario Scenario
+}
+
+// GridCellResult is one cell's fairness row.
+type GridCellResult struct {
+	ID            string
+	Label         string
+	JFI           float64
+	ThroughputBps float64
+	GoodputBps    float64
+	// GroupGoodputBps aggregates goodput per flow group in declaration
+	// order — the per-CCA split a tournament cell reports.
+	GroupGoodputBps []float64
+}
+
+// RunGridCell runs one cell.
+func RunGridCell(c GridCell) GridCellResult {
+	r := Run(c.Scenario)
+	out := GridCellResult{
+		ID: c.ID, Label: c.Label,
+		JFI: r.JFI, ThroughputBps: r.ThroughputBps, GoodputBps: r.GoodputBps,
+	}
+	idx := 0
+	for _, g := range c.Scenario.Groups {
+		var sum float64
+		for i := 0; i < g.Count; i++ {
+			sum += r.Flows[idx].GoodputBps
+			idx++
+		}
+		out.GroupGoodputBps = append(out.GroupGoodputBps, sum)
+	}
+	return out
+}
+
+// GridResult aggregates a grid run in cell order.
+type GridResult struct {
+	Name  string
+	Cells []GridCellResult
+}
+
+// Report renders the grid in canonical byte-stable form: one row per
+// cell, cells in generation order.
+func (r GridResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "grid %s: %d cells\n", r.Name, len(r.Cells))
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-44s JFI=%.9f goodput=%14.6f", c.ID, c.JFI, c.GoodputBps)
+		for _, g := range c.GroupGoodputBps {
+			fmt.Fprintf(&b, " %14.6f", g)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RunGrid runs every cell sequentially.
+func RunGrid(name string, cells []GridCell) GridResult {
+	r := GridResult{Name: name}
+	for _, c := range cells {
+		r.Cells = append(r.Cells, RunGridCell(c))
+	}
+	return r
+}
+
+// GridJobs wraps the cells as fleet jobs (IDs prefixed for checkpoint
+// namespacing); RenderGrid reassembles the stored results into the same
+// report RunGrid would print.
+func GridJobs(prefix string, cells []GridCell) []fleet.Job {
+	jobs := make([]fleet.Job, len(cells))
+	for i, c := range cells {
+		c := c
+		jobs[i] = fleet.Job{
+			ID:   prefix + c.ID,
+			Desc: c.Label,
+			Run:  func() (any, error) { return RunGridCell(c), nil },
+		}
+	}
+	return jobs
+}
+
+// RenderGrid assembles a grid report from checkpointed cell results.
+func RenderGrid(name, prefix string, cells []GridCell, get Getter) (string, error) {
+	r := GridResult{Name: name}
+	for _, c := range cells {
+		cell, err := decodeJob[GridCellResult](get, prefix+c.ID)
+		if err != nil {
+			return "", err
+		}
+		r.Cells = append(r.Cells, cell)
+	}
+	return r.Report(), nil
+}
+
+// TournamentConfig generates the CCA tournament matrix: every unordered
+// CCA pair (including self-pairs, the intra-CCA RTT-fairness baseline)
+// shares a dumbbell at every RTT ratio × buffer depth × discipline.
+type TournamentConfig struct {
+	Name        string
+	CCAs        []string
+	FlowsPerCCA int
+	// BottleneckBps / BaseRTT anchor the dumbbell; the second group's RTT
+	// is BaseRTT × ratio.
+	BottleneckBps float64
+	BaseRTT       SimTime
+	RTTRatios     []float64
+	BufferBytes   []int
+	Qdiscs        []QdiscKind
+	Duration      SimTime
+	// MinRTO clamps the senders' retransmission timers (0 = the runner's
+	// 1 s RFC 6298 default; 200 ms approximates Linux).
+	MinRTO SimTime
+	Seed   uint64
+	Shards int
+}
+
+// Cells enumerates the matrix in deterministic order: discipline, then
+// pair (i ≤ j in CCAs order), then RTT ratio, then buffer depth.
+func (c TournamentConfig) Cells() []GridCell {
+	var cells []GridCell
+	for _, q := range c.Qdiscs {
+		for i := 0; i < len(c.CCAs); i++ {
+			for j := i; j < len(c.CCAs); j++ {
+				for _, ratio := range c.RTTRatios {
+					for _, buf := range c.BufferBytes {
+						//lint:ignore simtime RTT ratios scale bounded base RTTs (« 2^53 ns); sub-ns rounding of a config input is immaterial
+						rtt2 := SimTime(float64(c.BaseRTT) * ratio)
+						id := fmt.Sprintf("%s/%s-%s/r%g/b%d", q, c.CCAs[i], c.CCAs[j], ratio, buf)
+						cells = append(cells, GridCell{
+							ID:    id,
+							Label: fmt.Sprintf("%s vs %s, RTT ×%g, %d B buffer, %s", c.CCAs[i], c.CCAs[j], ratio, buf, q),
+							Scenario: Scenario{
+								Name:          c.Name + "/" + id,
+								BottleneckBps: c.BottleneckBps,
+								BufferBytes:   buf,
+								Groups: []FlowGroup{
+									{CC: c.CCAs[i], Count: c.FlowsPerCCA, RTT: c.BaseRTT},
+									{CC: c.CCAs[j], Count: c.FlowsPerCCA, RTT: rtt2},
+								},
+								Duration: c.Duration,
+								Qdisc:    q,
+								MinRTO:   c.MinRTO,
+								Seed:     c.Seed,
+								Shards:   c.Shards,
+							},
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// BufferSweepConfig generates the buffer-depth fairness sweep: one fixed
+// flow mix (canonically BBRv1 vs Cubic) re-run at every buffer depth ×
+// discipline, reporting JFI per cell.
+type BufferSweepConfig struct {
+	Name          string
+	Groups        []FlowGroup
+	BottleneckBps float64
+	BufferBytes   []int
+	Qdiscs        []QdiscKind
+	Duration      SimTime
+	// MinRTO clamps the senders' retransmission timers (0 = the runner's
+	// 1 s RFC 6298 default; 200 ms approximates Linux). The BBR-fairness
+	// grid needs the Linux-like clamp — with 1 s stalls the buffer-depth
+	// signature washes out.
+	MinRTO SimTime
+	Seed   uint64
+	Shards int
+}
+
+// Cells enumerates the sweep in deterministic order: discipline, then
+// buffer depth.
+func (c BufferSweepConfig) Cells() []GridCell {
+	var cells []GridCell
+	for _, q := range c.Qdiscs {
+		for _, buf := range c.BufferBytes {
+			id := fmt.Sprintf("%s/b%d", q, buf)
+			cells = append(cells, GridCell{
+				ID:    id,
+				Label: fmt.Sprintf("%d B buffer, %s", buf, q),
+				Scenario: Scenario{
+					Name:          c.Name + "/" + id,
+					BottleneckBps: c.BottleneckBps,
+					BufferBytes:   buf,
+					Groups:        c.Groups,
+					Duration:      c.Duration,
+					Qdisc:         q,
+					MinRTO:        c.MinRTO,
+					Seed:          c.Seed,
+					Shards:        c.Shards,
+				},
+			})
+		}
+	}
+	return cells
+}

@@ -5,6 +5,13 @@
 // Tofino resource model (Table 3). Each experiment has a builder returning
 // structured results plus a text renderer that prints the same rows/series
 // the paper reports.
+//
+// Experiments are no longer code-only: the same config structs are the
+// lowering targets of declarative scenario files (scenarios/*.json,
+// package cebinae/internal/scenario), so a workload can be described,
+// versioned, and swept without recompiling. A spec file and a hand-built
+// Go config that describe the same experiment produce byte-identical
+// reports.
 package experiments
 
 import (
@@ -78,6 +85,8 @@ type FlowGroup struct {
 }
 
 // Scenario is a single-bottleneck (dumbbell) experiment configuration.
+// It can be built in Go or compiled from a "dumbbell" scenario file
+// (internal/scenario); both paths hand Run the same struct.
 type Scenario struct {
 	Name          string
 	BottleneckBps float64
@@ -400,6 +409,22 @@ func (sp *stateSampler) OnEvent(any) {
 		sp.states = append(sp.states, 'u')
 	}
 	sp.eng.ArmTimer(&sp.timer, sp.interval, sp, nil)
+}
+
+// Report flattens a Result into a canonical text form — the same kind of
+// byte stream a report file would carry — so drift anywhere in the
+// pipeline (between runs, shard counts, or a scenario file and its
+// hand-built Go equivalent) shows up as a byte difference.
+func (r Result) Report() string {
+	s := fmt.Sprintf("events=%d throughput=%.6f goodput=%.6f jfi=%.9f\n",
+		r.Events, r.ThroughputBps, r.GoodputBps, r.JFI)
+	for _, f := range r.Flows {
+		s += fmt.Sprintf("flow %d cc=%s rtt=%d goodput=%.6f series=%v\n",
+			f.Index, f.CC, f.RTT, f.GoodputBps, f.Series)
+	}
+	s += fmt.Sprintf("jfiseries=%v states=%s\n", r.JFISeries, r.StateSeries)
+	s += fmt.Sprintf("cebstats=%+v\n", r.CebStats)
+	return s
 }
 
 // SortedGoodputs returns the flows' goodputs (bits/sec) ascending — CDF

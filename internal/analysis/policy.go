@@ -34,6 +34,7 @@ var simulationPackages = []string{
 	"cebinae/internal/replay",
 	"cebinae/internal/monitor",
 	"cebinae/internal/metrics",
+	"cebinae/internal/scenario",
 }
 
 func inSimulationCore(path string) bool {

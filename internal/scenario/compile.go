@@ -1,0 +1,330 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cebinae/experiments"
+	"cebinae/internal/fleet"
+)
+
+// The compiler lowers a validated spec onto the experiments builders.
+// Lowering is a pure data mapping — no construction happens until the
+// compiled scenario runs — and it targets the exact config structs the
+// hand-built Go scenarios use, which is what makes the byte-identity
+// differential tests possible: a canonical spec and its Go twin hand the
+// runner the same struct, so every downstream byte matches.
+
+// Compiled is a lowered spec: exactly one config pointer (or the Grid
+// slice) is populated, matching Spec.Kind.
+type Compiled struct {
+	Spec     *Spec
+	Dumbbell *experiments.Scenario
+	Chain    *experiments.ChainConfig
+	Cross    *experiments.CrossConfig
+	Backbone *experiments.BackboneConfig
+	Graph    *experiments.GraphConfig
+	// Grid holds the enumerated cells for tournament and buffer_sweep
+	// specs, in canonical generation order.
+	Grid []experiments.GridCell
+}
+
+func qdiscKinds(names []string) []experiments.QdiscKind {
+	out := make([]experiments.QdiscKind, len(names))
+	for i, n := range names {
+		out[i] = experiments.QdiscKind(n)
+	}
+	return out
+}
+
+func lowerGroups(groups []GroupSpec) []experiments.FlowGroup {
+	out := make([]experiments.FlowGroup, len(groups))
+	for i, g := range groups {
+		out[i] = experiments.FlowGroup{CC: g.CC, Count: g.Count, RTT: g.RTT.Time(), StartAt: g.StartAt.Time()}
+	}
+	return out
+}
+
+func lowerPortQdisc(q *PortQdiscSpec) experiments.PortQdisc {
+	if q == nil {
+		return experiments.PortQdisc{}
+	}
+	return experiments.PortQdisc{
+		Kind:        experiments.QdiscKind(q.Kind),
+		BufferBytes: q.BufferBytes,
+		CebinaeRTT:  q.CebinaeRTT.Time(),
+	}
+}
+
+// Compile lowers a validated spec. It validates first, so callers that
+// assemble specs programmatically get the same diagnostics as Load.
+func Compile(s *Spec) (*Compiled, error) {
+	if err := Validate(s); err != nil {
+		return nil, err
+	}
+	c := &Compiled{Spec: s}
+	shards := int(s.Shards)
+	switch s.Kind {
+	case "dumbbell":
+		d := s.Dumbbell
+		sc := experiments.Scenario{
+			Name:           s.Name,
+			BottleneckBps:  float64(d.Rate),
+			BufferBytes:    d.BufferBytes,
+			Groups:         lowerGroups(d.Groups),
+			Duration:       d.Duration.Time(),
+			Qdisc:          experiments.QdiscKind(d.Qdisc),
+			MinRTO:         d.MinRTO.Time(),
+			WarmupFraction: d.WarmupFraction,
+			Seed:           s.Seed,
+			SampleInterval: d.SampleInterval.Time(),
+			Shards:         shards,
+		}
+		if d.Tau != nil {
+			p := experiments.DefaultCebinaeParams(sc)
+			p.Tau = *d.Tau
+			sc.Params = &p
+		}
+		c.Dumbbell = &sc
+	case "chain":
+		ch := s.Chain
+		c.Chain = &experiments.ChainConfig{
+			Name:          s.Name,
+			Hops:          ch.Hops,
+			LongFlows:     ch.LongFlows,
+			CrossPerHop:   ch.CrossPerHop,
+			LongCC:        ch.LongCC,
+			CrossCCs:      ch.CrossCCs,
+			BottleneckBps: float64(ch.Rate),
+			BufferBytes:   ch.BufferBytes,
+			LinkDelay:     ch.LinkDelay.Time(),
+			AccessDelay:   ch.AccessDelay.Time(),
+			Qdisc:         experiments.QdiscKind(ch.Qdisc),
+			CebinaeRTT:    ch.CebinaeRTT.Time(),
+			Duration:      ch.Duration.Time(),
+			Seed:          s.Seed,
+			Shards:        shards,
+		}
+	case "cross":
+		cr := s.Cross
+		sends := make([]experiments.SimTime, len(cr.Sends))
+		for i, at := range cr.Sends {
+			sends[i] = at.Time()
+		}
+		c.Cross = &experiments.CrossConfig{
+			Name:         s.Name,
+			RateBps:      float64(cr.Rate),
+			Delay:        cr.Delay.Time(),
+			BufferBytes:  cr.BufferBytes,
+			Sends:        sends,
+			PacketBytes:  cr.PacketBytes,
+			PayloadBytes: cr.PayloadBytes,
+			Until:        cr.Until.Time(),
+			Shards:       shards,
+		}
+	case "backbone":
+		b := s.Backbone
+		scale := map[string]experiments.Scale{
+			"quick": experiments.Quick, "medium": experiments.Medium, "full": experiments.Full,
+		}[b.Scale]
+		cfg := experiments.BackboneTier(b.Flows, scale)
+		if b.Qdisc != "" {
+			cfg.Qdisc = experiments.QdiscKind(b.Qdisc)
+		}
+		cfg.Shards = shards
+		c.Backbone = &cfg
+	case "graph":
+		g := s.Graph
+		gc := experiments.GraphConfig{
+			Name:           s.Name,
+			Duration:       g.Duration.Time(),
+			WarmupFraction: g.WarmupFraction,
+			MinRTO:         g.MinRTO.Time(),
+			Seed:           s.Seed,
+			Shards:         shards,
+		}
+		for _, sw := range g.Switches {
+			gc.Switches = append(gc.Switches, experiments.GraphSwitch{Name: sw.Name})
+		}
+		for _, l := range g.Links {
+			gc.Links = append(gc.Links, experiments.GraphLink{
+				A: l.A, B: l.B, RateBps: float64(l.Rate), Delay: l.Delay.Time(),
+				QdiscAB: lowerPortQdisc(l.QdiscAB), QdiscBA: lowerPortQdisc(l.QdiscBA),
+			})
+		}
+		for _, h := range g.Hosts {
+			gc.Hosts = append(gc.Hosts, experiments.GraphHostGroup{
+				Name: h.Name, Count: h.Count, Attach: h.Attach,
+				RateBps: float64(h.Rate), Delay: h.Delay.Time(),
+				DownQdisc: lowerPortQdisc(h.DownQdisc),
+			})
+		}
+		for _, f := range g.Flows {
+			gc.Flows = append(gc.Flows, experiments.GraphFlowGroup{
+				From: f.From, To: f.To, CC: f.CC, StartAt: f.StartAt.Time(),
+			})
+		}
+		c.Graph = &gc
+	case "tournament":
+		t := s.Tournament
+		c.Grid = experiments.TournamentConfig{
+			Name:          s.Name,
+			CCAs:          t.CCAs,
+			FlowsPerCCA:   t.FlowsPerCCA,
+			BottleneckBps: float64(t.Rate),
+			BaseRTT:       t.BaseRTT.Time(),
+			RTTRatios:     t.RTTRatios,
+			BufferBytes:   t.BufferBytes,
+			Qdiscs:        qdiscKinds(t.Qdiscs),
+			Duration:      t.Duration.Time(),
+			MinRTO:        t.MinRTO.Time(),
+			Seed:          s.Seed,
+			Shards:        shards,
+		}.Cells()
+	default: // buffer_sweep
+		b := s.BufferSweep
+		c.Grid = experiments.BufferSweepConfig{
+			Name:          s.Name,
+			Groups:        lowerGroups(b.Groups),
+			BottleneckBps: float64(b.Rate),
+			BufferBytes:   b.BufferBytes,
+			Qdiscs:        qdiscKinds(b.Qdiscs),
+			Duration:      b.Duration.Time(),
+			MinRTO:        b.MinRTO.Time(),
+			Seed:          s.Seed,
+			Shards:        shards,
+		}.Cells()
+	}
+	return c, nil
+}
+
+// SetShards overrides the compiled scenario's shard count (the CLIs'
+// explicit -shards flag wins over the spec's hint).
+func (c *Compiled) SetShards(n int) {
+	switch {
+	case c.Dumbbell != nil:
+		c.Dumbbell.Shards = n
+	case c.Chain != nil:
+		c.Chain.Shards = n
+	case c.Cross != nil:
+		c.Cross.Shards = n
+	case c.Backbone != nil:
+		c.Backbone.Shards = n
+	case c.Graph != nil:
+		c.Graph.Shards = n
+	default:
+		for i := range c.Grid {
+			c.Grid[i].Scenario.Shards = n
+		}
+	}
+}
+
+// RunReport runs the compiled scenario sequentially and returns its
+// canonical report text.
+func (c *Compiled) RunReport() string {
+	switch {
+	case c.Dumbbell != nil:
+		return experiments.Run(*c.Dumbbell).Report()
+	case c.Chain != nil:
+		return experiments.RunChain(*c.Chain).Report()
+	case c.Cross != nil:
+		return experiments.RunCross(*c.Cross).Report()
+	case c.Backbone != nil:
+		return experiments.RunBackbone(*c.Backbone).Render()
+	case c.Graph != nil:
+		return experiments.RunGraph(*c.Graph).Report()
+	default:
+		return experiments.RunGrid(c.Spec.Name, c.Grid).Report()
+	}
+}
+
+// jobID namespaces a compiled scenario's checkpoint keys.
+func (c *Compiled) jobID(prefix string) string { return prefix + "scenario/" + c.Spec.Name }
+
+// Jobs wraps the compiled scenario as fleet jobs: one per grid cell, or
+// a single job for the other kinds.
+func (c *Compiled) Jobs(prefix string) []fleet.Job {
+	id := c.jobID(prefix)
+	if c.Grid != nil {
+		return experiments.GridJobs(id+"/", c.Grid)
+	}
+	run := func() (any, error) {
+		switch {
+		case c.Dumbbell != nil:
+			return experiments.Run(*c.Dumbbell), nil
+		case c.Chain != nil:
+			return experiments.RunChain(*c.Chain), nil
+		case c.Cross != nil:
+			return experiments.RunCross(*c.Cross), nil
+		case c.Backbone != nil:
+			return experiments.RunBackbone(*c.Backbone), nil
+		default:
+			return experiments.RunGraph(*c.Graph), nil
+		}
+	}
+	return []fleet.Job{{ID: id, Desc: c.Spec.Kind + " scenario " + c.Spec.Name, Run: run}}
+}
+
+// decode unmarshals one checkpointed job value.
+func decode[T any](get experiments.Getter, id string) (T, error) {
+	var v T
+	raw, err := get(id)
+	if err != nil {
+		return v, err
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return v, fmt.Errorf("scenario: decode %s: %w", id, err)
+	}
+	return v, nil
+}
+
+// Render reassembles the checkpointed job values written by Jobs into
+// the same report RunReport would print.
+func (c *Compiled) Render(prefix string, get experiments.Getter) (string, error) {
+	id := c.jobID(prefix)
+	if c.Grid != nil {
+		return experiments.RenderGrid(c.Spec.Name, id+"/", c.Grid, get)
+	}
+	switch {
+	case c.Dumbbell != nil:
+		r, err := decode[experiments.Result](get, id)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	case c.Chain != nil:
+		r, err := decode[experiments.ChainResult](get, id)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	case c.Cross != nil:
+		r, err := decode[experiments.CrossResult](get, id)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	case c.Backbone != nil:
+		r, err := decode[experiments.BackboneResult](get, id)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	default:
+		r, err := decode[experiments.GraphResult](get, id)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	}
+}
+
+// Section packages the compiled scenario as one bench-report section.
+func (c *Compiled) Section(prefix string) experiments.BenchSection {
+	return experiments.BenchSection{
+		ID:     "scenario/" + c.Spec.Name,
+		Desc:   c.Spec.Kind + " scenario " + c.Spec.Name,
+		Jobs:   c.Jobs(prefix),
+		Render: func(get experiments.Getter) (string, error) { return c.Render(prefix, get) },
+	}
+}

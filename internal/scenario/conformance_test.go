@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"cebinae/experiments"
+)
+
+// cellByID indexes a grid run's cells.
+func cellByID(t *testing.T, r experiments.GridResult, id string) experiments.GridCellResult {
+	t.Helper()
+	for _, c := range r.Cells {
+		if c.ID == id {
+			return c
+		}
+	}
+	t.Fatalf("no cell %q in grid %s", id, r.Name)
+	return experiments.GridCellResult{}
+}
+
+// TestTournamentConformance pins the CCA tournament matrix compiled from
+// its shipped spec: the full grid is deterministic — two complete runs
+// produce byte-identical reports, so every cell's per-pair JFI is
+// reproducible — and the matrix enumerates exactly the declared
+// cross-product.
+func TestTournamentConformance(t *testing.T) {
+	spec := mustLoad(t, "tournament.json")
+	c, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 qdiscs × 6 unordered pairs from 3 CCAs × 2 ratios × 2 buffers.
+	if len(c.Grid) != 48 {
+		t.Fatalf("tournament enumerates %d cells, want 48", len(c.Grid))
+	}
+	first := experiments.RunGrid(spec.Name, c.Grid)
+	second := experiments.RunGrid(spec.Name, c.Grid)
+	if first.Report() != second.Report() {
+		t.Errorf("tournament is not deterministic across two runs\n--- first\n%s--- second\n%s", first.Report(), second.Report())
+	}
+	for _, cell := range first.Cells {
+		if cell.JFI <= 0 || cell.JFI > 1 {
+			t.Errorf("cell %s: JFI %v out of range", cell.ID, cell.JFI)
+		}
+		if len(cell.GroupGoodputBps) != 2 {
+			t.Errorf("cell %s: want 2 per-CCA goodput groups, got %d", cell.ID, len(cell.GroupGoodputBps))
+		}
+	}
+}
+
+// TestBufferSweepConformance pins the BBRv1-vs-Cubic buffer-depth sweep
+// compiled from its shipped spec against the BBR-fairness study's
+// qualitative signature under FIFO: in shallow buffers BBR's probing
+// floor starves Cubic, in deep buffers Cubic's queue occupancy starves
+// BBR, and fairness improves with depth. Cebinae is asserted ≥ FIFO JFI
+// at the shallow and mid-deep depths — the regimes where FIFO's
+// unfairness comes from queue-occupancy asymmetry, which Cebinae's
+// leaf tax targets.
+func TestBufferSweepConformance(t *testing.T) {
+	spec := mustLoad(t, "bbr-buffer-sweep.json")
+	c, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Grid) != 8 {
+		t.Fatalf("sweep enumerates %d cells, want 8", len(c.Grid))
+	}
+	r := experiments.RunGrid(spec.Name, c.Grid)
+
+	// Determinism spot-check on the two assertion-bearing FIFO cells.
+	for _, id := range []string{"fifo/b31250", "fifo/b2000000"} {
+		var cell experiments.GridCell
+		for _, gc := range c.Grid {
+			if gc.ID == id {
+				cell = gc
+			}
+		}
+		a, b := experiments.RunGridCell(cell), experiments.RunGridCell(cell)
+		if a.JFI != b.JFI || a.GoodputBps != b.GoodputBps {
+			t.Errorf("cell %s: not deterministic across two runs (JFI %v vs %v)", id, a.JFI, b.JFI)
+		}
+	}
+
+	// Groups are declared [bbr, cubic].
+	bbr := func(cell experiments.GridCellResult) float64 { return cell.GroupGoodputBps[0] }
+	cubic := func(cell experiments.GridCellResult) float64 { return cell.GroupGoodputBps[1] }
+
+	shallow := cellByID(t, r, "fifo/b31250")
+	deepest := cellByID(t, r, "fifo/b2000000")
+	if bbr(shallow) < 2*cubic(shallow) {
+		t.Errorf("shallow FIFO should starve Cubic under BBR: bbr=%.0f cubic=%.0f", bbr(shallow), cubic(shallow))
+	}
+	if cubic(deepest) < 2*bbr(deepest) {
+		t.Errorf("deep FIFO should starve BBR under Cubic: bbr=%.0f cubic=%.0f", bbr(deepest), cubic(deepest))
+	}
+	if deepest.JFI <= shallow.JFI {
+		t.Errorf("FIFO fairness should improve with depth: JFI(deep)=%.4f <= JFI(shallow)=%.4f", deepest.JFI, shallow.JFI)
+	}
+	for _, depth := range []string{"b31250", "b500000"} {
+		fifo := cellByID(t, r, "fifo/"+depth)
+		ceb := cellByID(t, r, "cebinae/"+depth)
+		if ceb.JFI < fifo.JFI {
+			t.Errorf("%s: Cebinae JFI %.4f < FIFO JFI %.4f", depth, ceb.JFI, fifo.JFI)
+		}
+	}
+
+	// The report names cells by ID; sanity-pin the rendering so sweep
+	// output stays greppable.
+	if !strings.Contains(r.Report(), "fifo/b31250") {
+		t.Errorf("sweep report missing cell IDs:\n%s", r.Report())
+	}
+}

@@ -1,0 +1,47 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDiagnosticsGolden pins the exact error text of the validation and
+// parse diagnostics against golden files — the messages are part of the
+// format's contract (tooling and humans grep for them), so wording
+// changes must be deliberate. Each testdata/diag/<case>.json has a
+// <case>.err holding the expected Parse error; -update rewrites the
+// goldens.
+func TestDiagnosticsGolden(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "diag", "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no diagnostic fixtures found: %v", err)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(strings.TrimSuffix(filepath.Base(path), ".json"), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, perr := Parse(data)
+			if perr == nil {
+				t.Fatalf("fixture unexpectedly valid")
+			}
+			golden := strings.TrimSuffix(path, ".json") + ".err"
+			if *update {
+				if err := os.WriteFile(golden, []byte(perr.Error()+"\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got := perr.Error() + "\n"; got != string(want) {
+				t.Errorf("diagnostic drifted\ngot:  %swant: %s", got, want)
+			}
+		})
+	}
+}

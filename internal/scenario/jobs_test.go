@@ -1,0 +1,211 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"cebinae/experiments"
+)
+
+// tinySpecs declares one fast spec per kind, sized so running each twice
+// (once through the fleet jobs, once directly) stays in the tens of
+// milliseconds.
+func tinySpecs() []*Spec {
+	return []*Spec{
+		{
+			Version: 1, Name: "tiny-dumbbell", Kind: "dumbbell", Seed: 3,
+			Dumbbell: &DumbbellSpec{
+				Rate: 20e6, BufferBytes: 100 * 1500,
+				Groups:   []GroupSpec{{CC: "newreno", Count: 2, RTT: dur(10 * time.Millisecond)}},
+				Duration: dur(300 * time.Millisecond), Qdisc: "fifo",
+			},
+		},
+		{
+			Version: 1, Name: "tiny-chain", Kind: "chain", Seed: 3,
+			Chain: &ChainSpec{
+				Hops: 1, LongFlows: 1, CrossPerHop: []int{1},
+				LongCC: "newreno", CrossCCs: []string{"cubic"},
+				Rate: 50e6, BufferBytes: 100 * 1500,
+				LinkDelay: dur(time.Millisecond), AccessDelay: dur(time.Millisecond),
+				Qdisc: "fifo", Duration: dur(300 * time.Millisecond),
+			},
+		},
+		{
+			Version: 1, Name: "tiny-cross", Kind: "cross",
+			Cross: &CrossSpec{
+				Rate: 1e9, Delay: Dur(1e6), BufferBytes: 1 << 20,
+				Sends: []Dur{0, 5e5}, PacketBytes: 1500, PayloadBytes: 1448,
+				Until: Dur(1e7),
+			},
+		},
+		{
+			Version: 1, Name: "tiny-backbone", Kind: "backbone",
+			Backbone: &BackboneSpec{Flows: 1000, Scale: "quick", Qdisc: "fifo"},
+		},
+		{
+			Version: 1, Name: "tiny-graph", Kind: "graph", Seed: 3,
+			Graph: &GraphSpec{
+				Switches: []SwitchSpec{{Name: "a"}, {Name: "b"}},
+				Links:    []LinkSpec{{A: "a", B: "b", Rate: 100e6, Delay: dur(time.Millisecond)}},
+				Hosts: []HostGroupSpec{
+					{Name: "src", Count: 2, Attach: "a", Rate: 200e6, Delay: dur(time.Millisecond)},
+					{Name: "dst", Count: 1, Attach: "b", Rate: 200e6, Delay: dur(time.Millisecond),
+						DownQdisc: &PortQdiscSpec{Kind: "cebinae", BufferBytes: 1 << 20, CebinaeRTT: dur(10 * time.Millisecond)}},
+				},
+				Flows:    []FlowGroupSpec{{From: "src", To: "dst", CC: "newreno"}},
+				Duration: dur(300 * time.Millisecond),
+				MinRTO:   dur(10 * time.Millisecond),
+			},
+		},
+		{
+			Version: 1, Name: "tiny-sweep", Kind: "buffer_sweep", Seed: 3,
+			BufferSweep: &BufferSweepSpec{
+				Groups:      []GroupSpec{{CC: "newreno", Count: 2, RTT: dur(10 * time.Millisecond)}},
+				Rate:        20e6,
+				BufferBytes: []int{37500},
+				Qdiscs:      []string{"fifo"},
+				Duration:    dur(300 * time.Millisecond),
+				MinRTO:      dur(200 * time.Millisecond),
+			},
+		},
+	}
+}
+
+// runJobsGetter executes every fleet job a compiled scenario produces and
+// returns a Getter over the marshalled results — the same shape the
+// checkpoint store hands Render in the CLIs.
+func runJobsGetter(t *testing.T, c *Compiled, prefix string) experiments.Getter {
+	t.Helper()
+	values := map[string]json.RawMessage{}
+	for _, job := range c.Jobs(prefix) {
+		if job.ID == "" || job.Desc == "" {
+			t.Errorf("job missing ID/Desc: %+v", job)
+		}
+		v, err := job.Run()
+		if err != nil {
+			t.Fatalf("job %s: %v", job.ID, err)
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("job %s: marshal: %v", job.ID, err)
+		}
+		values[job.ID] = raw
+	}
+	return func(id string) (json.RawMessage, error) {
+		raw, ok := values[id]
+		if !ok {
+			t.Fatalf("render asked for unknown job %s", id)
+		}
+		return raw, nil
+	}
+}
+
+// TestJobsRenderMatchesRunReport is the fleet-path contract for every
+// scenario kind: running the compiled scenario through its checkpointable
+// jobs and reassembling the report with Render produces exactly the bytes
+// RunReport prints from a direct sequential run.
+func TestJobsRenderMatchesRunReport(t *testing.T) {
+	for _, spec := range tinySpecs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			c, err := Compile(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.SetShards(1)
+			direct := c.RunReport()
+			got, err := c.Render("t/", runJobsGetter(t, c, "t/"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != direct {
+				t.Errorf("fleet-rendered report differs from direct run\n--- jobs\n%s--- direct\n%s", got, direct)
+			}
+		})
+	}
+}
+
+// TestSectionWrapsJobsAndRender pins the bench-report packaging: the
+// section is named scenario/<name>, carries the same jobs, and its Render
+// closure reproduces the direct report.
+func TestSectionWrapsJobsAndRender(t *testing.T) {
+	spec := tinySpecs()[2] // cross: the cheapest kind
+	c, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := c.Section("p/")
+	if sec.ID != "scenario/tiny-cross" {
+		t.Errorf("section ID = %q", sec.ID)
+	}
+	if !strings.Contains(sec.Desc, "cross") {
+		t.Errorf("section Desc = %q", sec.Desc)
+	}
+	if len(sec.Jobs) != 1 || !strings.HasPrefix(sec.Jobs[0].ID, "p/scenario/") {
+		t.Fatalf("section jobs = %+v", sec.Jobs)
+	}
+	got, err := sec.Render(runJobsGetter(t, c, "p/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c.RunReport() {
+		t.Errorf("section render differs from direct run")
+	}
+}
+
+// TestSetShardsCoversEveryKind pins the override the CLIs' explicit
+// -shards flag applies, for each compiled representation.
+func TestSetShardsCoversEveryKind(t *testing.T) {
+	for _, spec := range tinySpecs() {
+		c, err := Compile(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetShards(2)
+		var got int
+		switch {
+		case c.Dumbbell != nil:
+			got = c.Dumbbell.Shards
+		case c.Chain != nil:
+			got = c.Chain.Shards
+		case c.Cross != nil:
+			got = c.Cross.Shards
+		case c.Backbone != nil:
+			got = c.Backbone.Shards
+		case c.Graph != nil:
+			got = c.Graph.Shards
+		default:
+			for _, cell := range c.Grid {
+				if cell.Scenario.Shards != 2 {
+					t.Errorf("%s: grid cell %s shards = %d", spec.Name, cell.ID, cell.Scenario.Shards)
+				}
+			}
+			continue
+		}
+		if got != 2 {
+			t.Errorf("%s: shards = %d after SetShards(2)", spec.Name, got)
+		}
+	}
+}
+
+// TestRenderDecodeFailures pins the decode error paths: a getter that
+// fails and a getter that returns malformed JSON both surface as errors,
+// not panics or empty reports.
+func TestRenderDecodeFailures(t *testing.T) {
+	c, err := Compile(tinySpecs()[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Render("", func(id string) (json.RawMessage, error) {
+		return nil, strings.NewReader("").UnreadRune()
+	}); err == nil {
+		t.Error("getter failure not propagated")
+	}
+	if _, err := c.Render("", func(id string) (json.RawMessage, error) {
+		return json.RawMessage(`{"bad":`), nil
+	}); err == nil || !strings.Contains(err.Error(), "decode") {
+		t.Errorf("malformed value: got %v", err)
+	}
+}

@@ -1,0 +1,448 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cebinae/internal/tcp"
+)
+
+// Validation walks a parsed spec and reports the first defect with a
+// path-qualified message ("scenario: graph.links[2].b: ..."), so a bad
+// file points at the exact field. The diagnostics are part of the
+// format's contract — golden tests pin their text.
+
+// kinds maps each scenario kind to the qdisc names its lowering supports.
+var kinds = map[string][]string{
+	"dumbbell":     {"afq", "cebinae", "fifo", "fq", "pcq", "strawman"},
+	"chain":        {"cebinae", "fifo", "fq"},
+	"cross":        nil, // both ports are always FIFO
+	"backbone":     {"cebinae", "fifo"},
+	"graph":        {"cebinae", "fifo", "fq"},
+	"tournament":   {"afq", "cebinae", "fifo", "fq", "pcq", "strawman"},
+	"buffer_sweep": {"afq", "cebinae", "fifo", "fq", "pcq", "strawman"},
+}
+
+// kindOrder lists the kinds in the order diagnostics enumerate them.
+var kindOrder = []string{"dumbbell", "chain", "cross", "backbone", "graph", "tournament", "buffer_sweep"}
+
+func vErr(path, format string, args ...any) error {
+	return fmt.Errorf("scenario: %s: %s", path, fmt.Sprintf(format, args...))
+}
+
+func checkCC(path, cc string) error {
+	if _, ok := tcp.NewCC(cc); !ok {
+		return vErr(path, "unknown CC %q (known: %s)", cc, strings.Join(tcp.CCNames(), ", "))
+	}
+	return nil
+}
+
+func checkQdisc(path, kind, q string) error {
+	known := kinds[kind]
+	for _, k := range known {
+		if q == k {
+			return nil
+		}
+	}
+	return vErr(path, "unknown qdisc %q (known: %s)", q, strings.Join(known, ", "))
+}
+
+func checkPositiveRate(path string, r Rate) error {
+	if r <= 0 {
+		return vErr(path, "rate must be positive, got %v", float64(r))
+	}
+	return nil
+}
+
+func checkPositiveDur(path string, d Dur) error {
+	if d <= 0 {
+		return vErr(path, "duration must be positive, got %v", time.Duration(d))
+	}
+	return nil
+}
+
+func checkNonNegativeDur(path string, d Dur) error {
+	if d < 0 {
+		return vErr(path, "duration must not be negative, got %v", time.Duration(d))
+	}
+	return nil
+}
+
+func checkGroups(path string, groups []GroupSpec) error {
+	if len(groups) == 0 {
+		return vErr(path, "at least one flow group required")
+	}
+	for i, g := range groups {
+		p := fmt.Sprintf("%s[%d]", path, i)
+		if err := checkCC(p+".cc", g.CC); err != nil {
+			return err
+		}
+		if g.Count <= 0 {
+			return vErr(p+".count", "must be positive, got %d", g.Count)
+		}
+		if err := checkPositiveDur(p+".rtt", g.RTT); err != nil {
+			return err
+		}
+		if err := checkNonNegativeDur(p+".start_at", g.StartAt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkPortQdisc(path, kind string, q *PortQdiscSpec) error {
+	if q == nil {
+		return nil
+	}
+	if err := checkQdisc(path+".kind", kind, q.Kind); err != nil {
+		return err
+	}
+	if q.BufferBytes < 0 {
+		return vErr(path+".buffer_bytes", "must not be negative, got %d", q.BufferBytes)
+	}
+	return checkNonNegativeDur(path+".cebinae_rtt", q.CebinaeRTT)
+}
+
+// Validate checks a parsed spec and returns the first defect found, or
+// nil. Parse calls it; it is exported for callers that build specs
+// programmatically.
+func Validate(s *Spec) error {
+	if s.Version != Version {
+		return fmt.Errorf("scenario: unsupported version %d (want %d)", s.Version, Version)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("scenario: name: required")
+	}
+	if _, ok := kinds[s.Kind]; !ok {
+		return fmt.Errorf("scenario: kind: unknown scenario kind %q (known: %s)", s.Kind, strings.Join(kindOrder, ", "))
+	}
+	sections := map[string]bool{
+		"dumbbell":     s.Dumbbell != nil,
+		"chain":        s.Chain != nil,
+		"cross":        s.Cross != nil,
+		"backbone":     s.Backbone != nil,
+		"graph":        s.Graph != nil,
+		"tournament":   s.Tournament != nil,
+		"buffer_sweep": s.BufferSweep != nil,
+	}
+	if !sections[s.Kind] {
+		return fmt.Errorf("scenario: %s: kind %q requires a %q section", s.Kind, s.Kind, s.Kind)
+	}
+	for _, k := range kindOrder {
+		if k != s.Kind && sections[k] {
+			return fmt.Errorf("scenario: %s: section does not match kind %q", k, s.Kind)
+		}
+	}
+	switch s.Kind {
+	case "dumbbell":
+		return validateDumbbell(s.Dumbbell)
+	case "chain":
+		return validateChain(s.Chain)
+	case "cross":
+		return validateCross(s.Cross)
+	case "backbone":
+		return validateBackbone(s.Backbone)
+	case "graph":
+		return validateGraph(s.Graph)
+	case "tournament":
+		return validateTournament(s.Tournament)
+	default:
+		return validateBufferSweep(s.BufferSweep)
+	}
+}
+
+func validateDumbbell(d *DumbbellSpec) error {
+	if err := checkPositiveRate("dumbbell.rate", d.Rate); err != nil {
+		return err
+	}
+	if d.BufferBytes <= 0 {
+		return vErr("dumbbell.buffer_bytes", "must be positive, got %d", d.BufferBytes)
+	}
+	if err := checkGroups("dumbbell.groups", d.Groups); err != nil {
+		return err
+	}
+	if err := checkPositiveDur("dumbbell.duration", d.Duration); err != nil {
+		return err
+	}
+	if err := checkQdisc("dumbbell.qdisc", "dumbbell", d.Qdisc); err != nil {
+		return err
+	}
+	if d.Tau != nil && (*d.Tau <= 0 || *d.Tau >= 1) {
+		return vErr("dumbbell.tau", "must be in (0, 1), got %v", *d.Tau)
+	}
+	if d.WarmupFraction < 0 || d.WarmupFraction >= 1 {
+		return vErr("dumbbell.warmup_fraction", "must be in [0, 1), got %v", d.WarmupFraction)
+	}
+	if err := checkNonNegativeDur("dumbbell.min_rto", d.MinRTO); err != nil {
+		return err
+	}
+	return checkNonNegativeDur("dumbbell.sample_interval", d.SampleInterval)
+}
+
+func validateChain(c *ChainSpec) error {
+	if c.Hops <= 0 {
+		return vErr("chain.hops", "must be positive, got %d", c.Hops)
+	}
+	if c.LongFlows < 0 {
+		return vErr("chain.long_flows", "must not be negative, got %d", c.LongFlows)
+	}
+	if len(c.CrossPerHop) != c.Hops {
+		return vErr("chain.cross_per_hop", "wants one entry per hop (%d), got %d", c.Hops, len(c.CrossPerHop))
+	}
+	for i, n := range c.CrossPerHop {
+		if n < 0 {
+			return vErr(fmt.Sprintf("chain.cross_per_hop[%d]", i), "must not be negative, got %d", n)
+		}
+	}
+	if c.LongFlows > 0 {
+		if err := checkCC("chain.long_cc", c.LongCC); err != nil {
+			return err
+		}
+	}
+	if len(c.CrossCCs) != c.Hops {
+		return vErr("chain.cross_ccs", "wants one entry per hop (%d), got %d", c.Hops, len(c.CrossCCs))
+	}
+	for i, cc := range c.CrossCCs {
+		if err := checkCC(fmt.Sprintf("chain.cross_ccs[%d]", i), cc); err != nil {
+			return err
+		}
+	}
+	if err := checkPositiveRate("chain.rate", c.Rate); err != nil {
+		return err
+	}
+	if c.BufferBytes <= 0 {
+		return vErr("chain.buffer_bytes", "must be positive, got %d", c.BufferBytes)
+	}
+	if err := checkPositiveDur("chain.link_delay", c.LinkDelay); err != nil {
+		return err
+	}
+	if err := checkPositiveDur("chain.access_delay", c.AccessDelay); err != nil {
+		return err
+	}
+	if err := checkQdisc("chain.qdisc", "chain", c.Qdisc); err != nil {
+		return err
+	}
+	if err := checkNonNegativeDur("chain.cebinae_rtt", c.CebinaeRTT); err != nil {
+		return err
+	}
+	return checkPositiveDur("chain.duration", c.Duration)
+}
+
+func validateCross(c *CrossSpec) error {
+	if err := checkPositiveRate("cross.rate", c.Rate); err != nil {
+		return err
+	}
+	if err := checkPositiveDur("cross.delay", c.Delay); err != nil {
+		return err
+	}
+	if c.BufferBytes <= 0 {
+		return vErr("cross.buffer_bytes", "must be positive, got %d", c.BufferBytes)
+	}
+	if len(c.Sends) == 0 {
+		return vErr("cross.sends", "at least one injection instant required")
+	}
+	for i, at := range c.Sends {
+		if err := checkNonNegativeDur(fmt.Sprintf("cross.sends[%d]", i), at); err != nil {
+			return err
+		}
+	}
+	if c.PacketBytes <= 0 {
+		return vErr("cross.packet_bytes", "must be positive, got %d", c.PacketBytes)
+	}
+	if c.PayloadBytes < 0 || c.PayloadBytes > c.PacketBytes {
+		return vErr("cross.payload_bytes", "must be in [0, packet_bytes], got %d", c.PayloadBytes)
+	}
+	return checkPositiveDur("cross.until", c.Until)
+}
+
+func validateBackbone(b *BackboneSpec) error {
+	if b.Flows <= 0 {
+		return vErr("backbone.flows", "must be positive, got %d", b.Flows)
+	}
+	switch b.Scale {
+	case "quick", "medium", "full":
+	default:
+		return vErr("backbone.scale", "unknown scale %q (known: quick, medium, full)", b.Scale)
+	}
+	if b.Qdisc != "" {
+		return checkQdisc("backbone.qdisc", "backbone", b.Qdisc)
+	}
+	return nil
+}
+
+func validateGraph(g *GraphSpec) error {
+	if len(g.Switches) == 0 {
+		return vErr("graph.switches", "at least one switch required")
+	}
+	switches := map[string]bool{}
+	for i, sw := range g.Switches {
+		p := fmt.Sprintf("graph.switches[%d].name", i)
+		if sw.Name == "" {
+			return vErr(p, "required")
+		}
+		if switches[sw.Name] {
+			return vErr(p, "duplicate switch %q", sw.Name)
+		}
+		switches[sw.Name] = true
+	}
+	for i, l := range g.Links {
+		p := fmt.Sprintf("graph.links[%d]", i)
+		if !switches[l.A] {
+			return vErr(p+".a", "unknown switch %q", l.A)
+		}
+		if !switches[l.B] {
+			return vErr(p+".b", "unknown switch %q", l.B)
+		}
+		if l.A == l.B {
+			return vErr(p, "self-link on switch %q", l.A)
+		}
+		if err := checkPositiveRate(p+".rate", l.Rate); err != nil {
+			return err
+		}
+		if err := checkPositiveDur(p+".delay", l.Delay); err != nil {
+			return err
+		}
+		if err := checkPortQdisc(p+".qdisc_ab", "graph", l.QdiscAB); err != nil {
+			return err
+		}
+		if err := checkPortQdisc(p+".qdisc_ba", "graph", l.QdiscBA); err != nil {
+			return err
+		}
+	}
+	if len(g.Hosts) == 0 {
+		return vErr("graph.hosts", "at least one host group required")
+	}
+	hosts := map[string]bool{}
+	for i, h := range g.Hosts {
+		p := fmt.Sprintf("graph.hosts[%d]", i)
+		if h.Name == "" {
+			return vErr(p+".name", "required")
+		}
+		if hosts[h.Name] {
+			return vErr(p+".name", "duplicate host group %q", h.Name)
+		}
+		hosts[h.Name] = true
+		if h.Count <= 0 {
+			return vErr(p+".count", "must be positive, got %d", h.Count)
+		}
+		if !switches[h.Attach] {
+			return vErr(p+".attach", "unknown switch %q", h.Attach)
+		}
+		if err := checkPositiveRate(p+".rate", h.Rate); err != nil {
+			return err
+		}
+		if err := checkPositiveDur(p+".delay", h.Delay); err != nil {
+			return err
+		}
+		if err := checkPortQdisc(p+".down_qdisc", "graph", h.DownQdisc); err != nil {
+			return err
+		}
+	}
+	if len(g.Flows) == 0 {
+		return vErr("graph.flows", "at least one flow group required")
+	}
+	for i, f := range g.Flows {
+		p := fmt.Sprintf("graph.flows[%d]", i)
+		if !hosts[f.From] {
+			return vErr(p+".from", "unknown host group %q", f.From)
+		}
+		if !hosts[f.To] {
+			return vErr(p+".to", "unknown host group %q", f.To)
+		}
+		if err := checkCC(p+".cc", f.CC); err != nil {
+			return err
+		}
+		if err := checkNonNegativeDur(p+".start_at", f.StartAt); err != nil {
+			return err
+		}
+	}
+	if g.WarmupFraction < 0 || g.WarmupFraction >= 1 {
+		return vErr("graph.warmup_fraction", "must be in [0, 1), got %v", g.WarmupFraction)
+	}
+	if err := checkNonNegativeDur("graph.min_rto", g.MinRTO); err != nil {
+		return err
+	}
+	return checkPositiveDur("graph.duration", g.Duration)
+}
+
+func validateTournament(t *TournamentSpec) error {
+	if len(t.CCAs) == 0 {
+		return vErr("tournament.ccas", "at least one CCA required")
+	}
+	for i, cc := range t.CCAs {
+		if err := checkCC(fmt.Sprintf("tournament.ccas[%d]", i), cc); err != nil {
+			return err
+		}
+	}
+	if t.FlowsPerCCA <= 0 {
+		return vErr("tournament.flows_per_cca", "must be positive, got %d", t.FlowsPerCCA)
+	}
+	if err := checkPositiveRate("tournament.rate", t.Rate); err != nil {
+		return err
+	}
+	if err := checkPositiveDur("tournament.base_rtt", t.BaseRTT); err != nil {
+		return err
+	}
+	if len(t.RTTRatios) == 0 {
+		return vErr("tournament.rtt_ratios", "at least one ratio required")
+	}
+	for i, r := range t.RTTRatios {
+		if r <= 0 {
+			return vErr(fmt.Sprintf("tournament.rtt_ratios[%d]", i), "must be positive, got %v", r)
+		}
+	}
+	if err := checkBufList("tournament.buffer_bytes", t.BufferBytes); err != nil {
+		return err
+	}
+	if err := checkQdiscList("tournament.qdiscs", "tournament", t.Qdiscs); err != nil {
+		return err
+	}
+	if err := checkNonNegativeDur("tournament.min_rto", t.MinRTO); err != nil {
+		return err
+	}
+	return checkPositiveDur("tournament.duration", t.Duration)
+}
+
+func validateBufferSweep(b *BufferSweepSpec) error {
+	if err := checkGroups("buffer_sweep.groups", b.Groups); err != nil {
+		return err
+	}
+	if err := checkPositiveRate("buffer_sweep.rate", b.Rate); err != nil {
+		return err
+	}
+	if err := checkBufList("buffer_sweep.buffer_bytes", b.BufferBytes); err != nil {
+		return err
+	}
+	if err := checkQdiscList("buffer_sweep.qdiscs", "buffer_sweep", b.Qdiscs); err != nil {
+		return err
+	}
+	if err := checkNonNegativeDur("buffer_sweep.min_rto", b.MinRTO); err != nil {
+		return err
+	}
+	return checkPositiveDur("buffer_sweep.duration", b.Duration)
+}
+
+func checkBufList(path string, bufs []int) error {
+	if len(bufs) == 0 {
+		return vErr(path, "at least one buffer depth required")
+	}
+	for i, b := range bufs {
+		if b <= 0 {
+			return vErr(fmt.Sprintf("%s[%d]", path, i), "must be positive, got %d", b)
+		}
+	}
+	return nil
+}
+
+func checkQdiscList(path, kind string, qs []string) error {
+	if len(qs) == 0 {
+		return vErr(path, "at least one qdisc required")
+	}
+	for i, q := range qs {
+		if err := checkQdisc(fmt.Sprintf("%s[%d]", path, i), kind, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
