@@ -25,7 +25,7 @@ lint:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 	  staticcheck ./...; \
 	else \
-	  echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	  echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1 — the version CI pins)"; \
 	fi
 
 test:

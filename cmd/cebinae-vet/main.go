@@ -6,9 +6,16 @@
 // simulation core for detsource; the whole module for the rest, with
 // internal/fleet's wall-clock exemption documented in the policy).
 //
+// Packages are analysed in dependency order so pktown's interprocedural
+// ownership summaries flow from imported packages to their importers.
+//
 // Exit status is 1 if any diagnostic survives the //lint:ignore
-// directives, so `make lint` and the CI lint job fail closed. See
-// STATIC_ANALYSIS.md for the invariants and the annotation grammar.
+// directives — including the runner's own findings: a directive that
+// suppresses nothing is reported as unused-directive, so stale
+// exemptions cannot outlive the code they excused. `make lint` and the
+// CI vet job fail closed. See STATIC_ANALYSIS.md for the invariants,
+// the //lint:ignore grammar, and pktown's //pktown: ownership
+// annotations.
 package main
 
 import (
@@ -64,7 +71,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stdout, d)
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "cebinae-vet: %d finding(s); fix them or annotate with `//lint:ignore <analyzer> <reason>` (see STATIC_ANALYSIS.md)\n", len(diags))
+		fmt.Fprintf(stderr, "cebinae-vet: %d finding(s); fix them, annotate with `//lint:ignore <analyzer> <reason>`, or declare ownership with `//pktown:<mode> <param> <reason>` (see STATIC_ANALYSIS.md)\n", len(diags))
 		return 1
 	}
 	return 0

@@ -49,7 +49,43 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Summaries is the analyzer's cross-package fact store: one instance
+	// per analyzer per Run, shared across every package the analyzer
+	// polices. Run visits packages in dependency order, so by the time a
+	// package is analysed the summaries of everything it imports are
+	// already present. May be nil when the driver provides no store.
+	Summaries *Summaries
+
 	diags *[]Diagnostic
+}
+
+// Summaries carries analyzer-defined facts about functions across package
+// boundaries. Keys are stable strings (pktown uses "pkgpath.Recv.Method")
+// rather than types.Object: the object for a function differs between the
+// source-checked package that declares it and the export-data import seen
+// by its callers, but the key does not.
+type Summaries struct {
+	m map[string]any
+}
+
+// NewSummaries returns an empty store.
+func NewSummaries() *Summaries { return &Summaries{m: make(map[string]any)} }
+
+// Lookup returns the fact stored under key, if any.
+func (s *Summaries) Lookup(key string) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	v, ok := s.m[key]
+	return v, ok
+}
+
+// Store records a fact under key, replacing any previous value.
+func (s *Summaries) Store(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.m[key] = v
 }
 
 // Reportf records a diagnostic at pos.
@@ -88,8 +124,20 @@ type ignoreDirective struct {
 	analyzers []string // analyzer names, or ["all"]
 	reason    string
 	line      int
+	fname     string
 	file      bool // file-ignore: applies to the whole file
 	pos       token.Pos
+	used      bool // suppressed at least one diagnostic this Run
+}
+
+// coversAny reports whether the directive names any analyzer in ran.
+func (d *ignoreDirective) coversAny(ran map[string]bool) bool {
+	for name := range ran {
+		if d.covers(name) {
+			return true
+		}
+	}
+	return false
 }
 
 func (d *ignoreDirective) covers(analyzer string) bool {
@@ -121,6 +169,7 @@ func parseDirectives(fset *token.FileSet, f *ast.File, report func(pos token.Pos
 				analyzers: strings.Split(fields[0], ","),
 				reason:    strings.Join(fields[1:], " "),
 				line:      fset.Position(c.Pos()).Line,
+				fname:     fset.Position(c.Pos()).Filename,
 				file:      fileWide,
 				pos:       c.Pos(),
 			})
@@ -143,13 +192,15 @@ func directiveText(comment string) (string, bool) {
 
 // suppressed reports whether diagnostic d is covered by a directive: a
 // file-ignore for its analyzer, or a line directive on the same line or
-// the line immediately above.
+// the line immediately above. A directive that fires is marked used, so
+// Run can flag the ones that suppress nothing (unused-directive).
 func suppressed(d Diagnostic, directives []*ignoreDirective) bool {
 	for _, dir := range directives {
-		if !dir.covers(d.Analyzer) {
+		if !dir.covers(d.Analyzer) || dir.fname != d.Pos.Filename {
 			continue
 		}
 		if dir.file || dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+			dir.used = true
 			return true
 		}
 	}

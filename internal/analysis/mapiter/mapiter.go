@@ -12,11 +12,17 @@
 //     depend on visit order (the historical FQ-CoDel drop-victim bug:
 //     "pick the fattest flow" with ties broken by map order).
 //
-// Scheduling and output hazards are also followed through helpers: a call
-// inside the range body that resolves to a function or method declared in
-// the same package has its body scanned (transitively, memoized,
-// cycle-safe), so hiding eng.Schedule one hop down does not silence the
-// diagnostic — the report names the helper chain.
+// All four hazard classes are followed through helpers: a call inside the
+// range body that resolves to a function, method, or function-literal
+// binding declared in the same package has its body scanned (transitively,
+// memoized, cycle-safe), so hiding eng.Schedule — or an append to a
+// captured slice — one hop down does not silence the diagnostic. The
+// report names the helper chain. Accumulation and selection hazards in a
+// helper body are writes to variables declared *outside* the helper
+// (captured or package-level) fed by the helper's parameters, and are
+// reported only when the call site actually passes loop-derived values;
+// an accumulation is forgiven when the caller deterministically sorts the
+// target slice after the loop, exactly like the direct case.
 //
 // The analyzer recognises the collect-then-sort idiom (append inside the
 // loop, sort.*/slices.* on the same slice after it) and does not flag it.
@@ -116,7 +122,7 @@ func checkMapRange(pass *analysis.Pass, h *helperScanner, rs *ast.RangeStmt, fun
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			checkCall(pass, h, rs, n)
+			checkCall(pass, h, rs, n, loopVars, funcBody)
 		case *ast.AssignStmt:
 			checkAssign(pass, rs, n, loopVars, funcBody)
 		}
@@ -137,7 +143,7 @@ func rangeVarObjects(pass *analysis.Pass, rs *ast.RangeStmt) map[types.Object]bo
 	return vars
 }
 
-func checkCall(pass *analysis.Pass, h *helperScanner, rs *ast.RangeStmt, call *ast.CallExpr) {
+func checkCall(pass *analysis.Pass, h *helperScanner, rs *ast.RangeStmt, call *ast.CallExpr, loopVars map[types.Object]bool, funcBody *ast.BlockStmt) {
 	if hz := directHazard(pass, call); hz != nil {
 		report(pass, rs, "", hz)
 		return
@@ -145,9 +151,23 @@ func checkCall(pass *analysis.Pass, h *helperScanner, rs *ast.RangeStmt, call *a
 	// Not itself a hazard: if the callee is a helper declared in this
 	// package, the hazard may be one hop (or several) down — the loop body
 	// still drives it in iteration order.
-	if hz := h.classify(h.callee(call)); hz != nil {
-		report(pass, rs, calleeName(call), hz)
+	hz := h.classify(h.callee(call))
+	if hz == nil {
+		return
 	}
+	switch hz.kind {
+	case hazardAccumulate, hazardSelect:
+		// Parameter-fed hazards matter only when the call actually feeds
+		// loop-derived values in; a loop-invariant argument produces the
+		// same contents regardless of visit order.
+		if !callArgsUse(pass, call, loopVars) {
+			return
+		}
+		if hz.kind == hazardAccumulate && sortedAfter(pass, rs, funcBody, hz.target) {
+			return
+		}
+	}
+	report(pass, rs, calleeName(call), hz)
 }
 
 // report emits the diagnostic for a hazard reached from a map range,
@@ -157,18 +177,35 @@ func report(pass *analysis.Pass, rs *ast.RangeStmt, helper string, hz *helperHaz
 	if helper != "" {
 		path = helper + " → " + path
 	}
-	if hz.schedule {
+	switch hz.kind {
+	case hazardSchedule:
 		pass.Reportf(rs.Pos(), "map range schedules events via %s in iteration order; event sequence numbers will differ between runs", path)
-	} else {
+	case hazardOutput:
 		pass.Reportf(rs.Pos(), "map range writes output via %s in iteration order; iterate a sorted copy of the keys", path)
+	case hazardAccumulate:
+		pass.Reportf(rs.Pos(), "map range accumulates into %s via %s in iteration order without a deterministic sort afterwards", hz.target.Name(), path)
+	default:
+		pass.Reportf(rs.Pos(), "map range selects into %s via %s in iteration order; impose a total order (deterministic tie-break) and annotate, or sort the keys", hz.target.Name(), path)
 	}
 }
+
+// hazardKind classifies why driving a call from a map range is
+// order-sensitive.
+type hazardKind int
+
+const (
+	hazardSchedule   hazardKind = iota // scheduling call — event order observable
+	hazardOutput                       // output writer — byte order observable
+	hazardAccumulate                   // append to a variable outside the helper
+	hazardSelect                       // plain assignment to a variable outside the helper
+)
 
 // helperHazard classifies what a call (or a helper's body, transitively)
 // does that makes driving it from a map range order-sensitive.
 type helperHazard struct {
-	schedule bool   // scheduling call; false means output writer
-	path     string // the offending call, prefixed by the helper chain
+	kind   hazardKind
+	path   string       // the offending call, prefixed by the helper chain
+	target types.Object // accumulate/select: the written outer variable
 }
 
 // directHazard reports whether call is itself a scheduling or output
@@ -186,47 +223,136 @@ func directHazard(pass *analysis.Pass, call *ast.CallExpr) *helperHazard {
 	if id, ok := sel.X.(*ast.Ident); ok {
 		if pn, ok := pass.ObjectOf(id).(*types.PkgName); ok {
 			if pn.Imported().Path() == "fmt" && fmtPrinters[name] {
-				return &helperHazard{path: "fmt." + name}
+				return &helperHazard{kind: hazardOutput, path: "fmt." + name}
 			}
 			return nil
 		}
 	}
 	if writerMethods[name] {
-		return &helperHazard{path: name}
+		return &helperHazard{kind: hazardOutput, path: name}
 	}
 	if scheduleMethods[name] || (name == "At" && receiverFromSim(pass, sel)) {
-		return &helperHazard{schedule: true, path: name}
+		return &helperHazard{kind: hazardSchedule, path: name}
 	}
 	return nil
 }
 
-// helperScanner resolves calls to functions and methods declared in the
-// package under analysis and classifies their bodies — transitively and
-// memoized — so a hazard buried in a helper is attributed to the map
-// range that drives it. Self- and mutual recursion terminate via the
-// in-progress memo entry (a cycle with no hazard on it is clean).
+// callArgsUse reports whether any argument of call mentions one of objs.
+func callArgsUse(pass *analysis.Pass, call *ast.CallExpr, objs map[types.Object]bool) bool {
+	for _, a := range call.Args {
+		if usesAny(pass, a, objs) {
+			return true
+		}
+	}
+	return false
+}
+
+// helperBody is a scannable helper: a declared function/method or a
+// function literal bound once to a variable. extent is the source range
+// within which the helper's own declarations (params, locals) live — a
+// written variable declared outside it is captured or package-level
+// state, the raw material of accumulation/selection hazards.
+type helperBody struct {
+	body       *ast.BlockStmt
+	start, end token.Pos
+	params     map[types.Object]bool
+}
+
+// helperScanner resolves calls to functions, methods, and function-literal
+// bindings declared in the package under analysis and classifies their
+// bodies — transitively and memoized — so a hazard buried in a helper is
+// attributed to the map range that drives it. Self- and mutual recursion
+// terminate via the in-progress memo entry (a cycle with no hazard on it
+// is clean).
 type helperScanner struct {
 	pass  *analysis.Pass
-	decls map[types.Object]*ast.FuncDecl
+	decls map[types.Object]*helperBody
 	memo  map[types.Object]*helperHazard
 }
 
 func newHelperScanner(pass *analysis.Pass) *helperScanner {
 	h := &helperScanner{
 		pass:  pass,
-		decls: make(map[types.Object]*ast.FuncDecl),
+		decls: make(map[types.Object]*helperBody),
 		memo:  make(map[types.Object]*helperHazard),
+	}
+	rebound := make(map[types.Object]bool)
+	bind := func(nameID *ast.Ident, lit *ast.FuncLit) {
+		obj := pass.ObjectOf(nameID)
+		if obj == nil {
+			return
+		}
+		if _, dup := h.decls[obj]; dup {
+			// A variable holding different literals at different times has
+			// no single body to scan; drop it.
+			rebound[obj] = true
+			return
+		}
+		h.decls[obj] = &helperBody{
+			body:   lit.Body,
+			start:  lit.Pos(),
+			end:    lit.End(),
+			params: paramObjects(pass, lit.Type),
+		}
 	}
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
 				if obj := pass.ObjectOf(fd.Name); obj != nil {
-					h.decls[obj] = fd
+					h.decls[obj] = &helperBody{
+						body:   fd.Body,
+						start:  fd.Pos(),
+						end:    fd.End(),
+						params: paramObjects(pass, fd.Type),
+					}
 				}
 			}
 		}
+		// Function-literal bindings: add := func(...) {...}, at any depth.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || i >= len(n.Rhs) {
+						continue
+					}
+					if lit, ok := n.Rhs[i].(*ast.FuncLit); ok {
+						bind(id, lit)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) {
+						if lit, ok := n.Values[i].(*ast.FuncLit); ok {
+							bind(name, lit)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for obj := range rebound {
+		delete(h.decls, obj)
 	}
 	return h
+}
+
+// paramObjects collects the objects of a function type's parameters.
+func paramObjects(pass *analysis.Pass, ft *ast.FuncType) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.ObjectOf(name); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
 }
 
 // callee resolves the object a call expression invokes: a plain
@@ -262,8 +388,8 @@ func (h *helperScanner) classify(obj types.Object) *helperHazard {
 	if res, seen := h.memo[obj]; seen {
 		return res
 	}
-	decl := h.decls[obj]
-	if decl == nil {
+	hb := h.decls[obj]
+	if hb == nil {
 		h.memo[obj] = nil
 		return nil
 	}
@@ -271,26 +397,81 @@ func (h *helperScanner) classify(obj types.Object) *helperHazard {
 	// correct — any hazard on the cycle is found by the outermost scan.
 	h.memo[obj] = nil
 	var found *helperHazard
-	ast.Inspect(decl.Body, func(n ast.Node) bool {
+	ast.Inspect(hb.body, func(n ast.Node) bool {
 		if found != nil {
 			return false
 		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if hz := directHazard(h.pass, call); hz != nil {
-			found = hz
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if hz := directHazard(h.pass, n); hz != nil {
+				found = hz
+				return false
+			}
+			sub := h.classify(h.callee(n))
+			if sub == nil {
+				return true
+			}
+			switch sub.kind {
+			case hazardAccumulate, hazardSelect:
+				// A parameter-fed hazard propagates only when this helper
+				// feeds its own parameters in, and the written variable
+				// outlives this helper too — a target local to this frame
+				// is rebuilt per call and carries no cross-iteration state.
+				if !callArgsUse(h.pass, n, hb.params) || !hb.outside(sub.target) {
+					return true
+				}
+			}
+			found = &helperHazard{kind: sub.kind, path: calleeName(n) + " → " + sub.path, target: sub.target}
 			return false
-		}
-		if sub := h.classify(h.callee(call)); sub != nil {
-			found = &helperHazard{schedule: sub.schedule, path: calleeName(call) + " → " + sub.path}
-			return false
+		case *ast.AssignStmt:
+			found = h.classifyAssign(n, hb)
+			return found == nil
 		}
 		return true
 	})
 	h.memo[obj] = found
 	return found
+}
+
+// classifyAssign recognises accumulation and selection hazards inside a
+// helper body: writes to a variable declared outside the helper whose
+// value derives from the helper's parameters.
+func (h *helperScanner) classifyAssign(as *ast.AssignStmt, hb *helperBody) *helperHazard {
+	if as.Tok == token.DEFINE {
+		return nil
+	}
+	for i, lhs := range as.Lhs {
+		obj := rootObject(h.pass, lhs)
+		if obj == nil || !hb.outside(obj) {
+			continue
+		}
+		// Keyed writes (m[k] = v) are per-key independent, as in the
+		// direct case.
+		if _, ok := lhs.(*ast.IndexExpr); ok {
+			continue
+		}
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		} else {
+			rhs = as.Rhs[0]
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(h.pass, call) {
+			if callArgsUse(h.pass, call, hb.params) {
+				return &helperHazard{kind: hazardAccumulate, path: "append", target: obj}
+			}
+			continue
+		}
+		if as.Tok == token.ASSIGN && usesAny(h.pass, rhs, hb.params) {
+			return &helperHazard{kind: hazardSelect, path: "assignment", target: obj}
+		}
+	}
+	return nil
+}
+
+// outside reports whether obj is declared outside the helper's extent.
+func (hb *helperBody) outside(obj types.Object) bool {
+	return obj != nil && (obj.Pos() < hb.start || obj.Pos() > hb.end)
 }
 
 // receiverFromSim reports whether sel's receiver type is declared in a

@@ -136,3 +136,32 @@ func paceAll(eng *sim.Engine, flows map[flowKey]*replayFlow, h sim.Handler) {
 		eng.ArmTimer(&fl.timer, fl.gap, h, fl)
 	}
 }
+
+// A function-literal helper appending to a captured slice is the
+// accumulation hazard one hop down: the closure writes `out` in whatever
+// order the loop visits.
+func keysViaClosure(m map[flowKey]int) []flowKey {
+	var out []flowKey
+	add := func(k flowKey) { out = append(out, k) }
+	for k := range m { // want `map range accumulates into out via add → append in iteration order without a deterministic sort`
+		add(k)
+	}
+	return out
+}
+
+// A named helper folding a winner into package state is the selection bug
+// hidden behind a call.
+var bestFlow *fqFlow
+
+func consider(fl *fqFlow) {
+	if bestFlow == nil || fl.bytes > bestFlow.bytes {
+		bestFlow = fl
+	}
+}
+
+func pickViaHelper(flows map[flowKey]*fqFlow) *fqFlow {
+	for _, fl := range flows { // want `map range selects into bestFlow via consider → assignment in iteration order`
+		consider(fl)
+	}
+	return bestFlow
+}

@@ -113,3 +113,43 @@ func prune(counts map[flowKey]int64) {
 		}
 	}
 }
+
+// Captured-slice accumulation through a closure is forgiven when the
+// caller restores a total order after the loop, exactly like the inline
+// collect-then-sort idiom.
+func keysViaClosureSorted(m map[flowKey]int) []flowKey {
+	var out []flowKey
+	add := func(k flowKey) { out = append(out, k) }
+	for k := range m {
+		add(k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].src != out[j].src {
+			return out[i].src < out[j].src
+		}
+		return out[i].dst < out[j].dst
+	})
+	return out
+}
+
+// An integer counter bumped through a closure is commutative; no order
+// leaks into the result.
+func countViaHelper(m map[flowKey]int) int {
+	n := 0
+	bump := func() { n++ }
+	for range m {
+		bump()
+	}
+	return n
+}
+
+// A closure fed only loop-invariant values produces the same contents
+// regardless of visit order.
+func padTo(m map[flowKey]int) []string {
+	var out []string
+	add := func(s string) { out = append(out, s) }
+	for range m {
+		add("pad")
+	}
+	return out
+}

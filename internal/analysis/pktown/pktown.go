@@ -1,17 +1,39 @@
 // Package pktown checks the ownership protocol of pooled packets
-// (internal/packet.Pool): once a packet is released with Pool.Put it must
-// not be read again, and it must not be released twice. This is the
-// static complement of the runtime `packetdebug` double-free detector —
-// the runtime guard only fires on paths a test happens to execute, while
-// this analyzer inspects every path in the source.
+// (internal/packet.Pool) across function boundaries. Ownership is
+// single-holder: a packet obtained from Pool.Get is owned by exactly one
+// variable until it is released (Pool.Put), stored (into a field, slice,
+// channel, or a sink that keeps it), or returned to the caller. The
+// analyzer is the static complement of the runtime `packetdebug`
+// double-free detector — the runtime guard only fires on paths a test
+// happens to execute, while this analyzer inspects every path in the
+// source, including the cross-function hand-offs (shard SPSC rings,
+// qdisc backlogs, netem transmit) the old intra-procedural version was
+// blind to.
 //
-// The analysis is intra-procedural and path-aware along statement lists:
-// a release inside an if/switch arm is merged as "may be released" after
-// the branch unless that arm terminates (return/break/continue/panic);
-// loop bodies are analysed twice so a release that survives to the next
-// iteration is caught; an assignment to the packet variable (p =
-// pool.Get(), p = nil) clears its released state. Releases inside
-// function literals are checked within the literal only.
+// The analysis is summary-based and interprocedural: a bottom-up pass
+// over the package-local call graph (Tarjan SCCs, fixpoint within each
+// cycle) computes a FuncSummary for every function — each *packet.Packet
+// parameter classified consumes / stores / enqueues / borrows, each
+// result fresh or borrowed — and call sites are then checked against
+// callee summaries. Summaries cross package boundaries through the
+// framework's Summaries store (run.go visits packages in dependency
+// order), keyed by "pkgpath.Recv.Name" strings. Interface methods have
+// no body to infer from; known-sink interfaces carry explicit
+// `//pktown:` annotations (see summary.go) with mandatory reasons.
+//
+// Diagnostics: use-after-release and double release (as before),
+// use-after-hand-off and double-consume across a call (naming the call
+// chain that takes ownership), and leaks — a fresh packet that on some
+// path is neither released, returned, nor stored.
+//
+// Within a function the walk is path-aware along statement lists: branch
+// states are merged as may-facts at joins unless the branch terminates;
+// loop bodies are analysed twice so hazards that survive to the next
+// iteration are caught; `if p == nil` prunes ownership obligations on
+// the nil branch (the Dequeue-empty idiom); rebinding a variable
+// transfers in fresh ownership (and leaks the old packet if it was still
+// owned). Function literals are analysed with their own state; capturing
+// an owned packet discharges the obligation to the closure.
 package pktown
 
 import (
@@ -24,51 +46,124 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "pktown",
-	Doc: "forbid use-after-release and double release of pooled packets " +
-		"(internal/packet.Pool ownership protocol)",
+	Doc: "forbid use-after-release, use-after-hand-off, double release and " +
+		"leaks of pooled packets (internal/packet.Pool ownership protocol, " +
+		"checked interprocedurally via function summaries)",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
-	c := &checker{pass: pass, reported: make(map[token.Pos]bool)}
+	c := &checker{
+		pass:      pass,
+		decls:     make(map[types.Object]*ast.FuncDecl),
+		summaries: make(map[types.Object]*FuncSummary),
+		reported:  make(map[token.Pos]bool),
+	}
+	c.annotated, c.annotatedOrder = collectAnnotations(pass)
+
+	// Gather package-local function declarations in source order.
+	var order []types.Object
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.FuncDecl:
-				if n.Body != nil {
-					c.walkStmts(n.Body.List, released{})
-				}
-				return false
-			case *ast.FuncLit:
-				// Top-level literals (package var initialisers); literals
-				// inside functions are handled by walkStmts.
-				c.walkStmts(n.Body.List, released{})
-				return false
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
 			}
-			return true
-		})
+			obj := pass.ObjectOf(fd.Name)
+			if obj == nil {
+				continue
+			}
+			c.decls[obj] = fd
+			order = append(order, obj)
+		}
+	}
+
+	// Phase 1: bottom-up summaries. Tarjan emits SCCs callees-first, so
+	// by the time a function is summarised its non-recursive callees are
+	// final; within an SCC we iterate to a fixpoint (modes only grow, so
+	// it terminates).
+	for _, scc := range tarjanSCCs(order, c.callEdges()) {
+		for changed := true; changed; {
+			changed = false
+			for _, obj := range scc {
+				sum := c.analyzeFunc(c.decls[obj], obj, false)
+				if !sum.equal(c.summaries[obj]) {
+					c.summaries[obj] = sum
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Phase 2: report, with every summary fixed.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					c.analyzeFunc(d, pass.ObjectOf(d.Name), true)
+				}
+			case *ast.GenDecl:
+				// Package var initialisers may contain function literals.
+				ast.Inspect(d, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						c.analyzeLit(lit, true)
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Publish summaries for importing packages, in source order (the
+	// store is a map, but funcKey/Store must not run in map-range order —
+	// mapiter polices this package too). Annotations on interface methods
+	// are included — they are the contract callers in other packages
+	// check against.
+	for _, obj := range order {
+		if sum := c.summaries[obj]; !sum.empty() {
+			if fn, ok := obj.(*types.Func); ok {
+				pass.Summaries.Store(funcKey(fn), sum)
+			}
+		}
+	}
+	for _, obj := range c.annotatedOrder {
+		if c.decls[obj] != nil {
+			continue // FuncDecl annotations are already merged into summaries
+		}
+		if sum := c.annotated[obj]; !sum.empty() {
+			if fn, ok := obj.(*types.Func); ok {
+				pass.Summaries.Store(funcKey(fn), sum)
+			}
+		}
 	}
 	return nil
 }
 
-// released maps a packet variable to the position where it was returned
-// to the pool on some path reaching the current statement.
-type released map[types.Object]token.Pos
-
-func (r released) clone() released {
-	out := make(released, len(r))
-	for k, v := range r {
-		out[k] = v
-	}
-	return out
+type checker struct {
+	pass           *analysis.Pass
+	decls          map[types.Object]*ast.FuncDecl
+	summaries      map[types.Object]*FuncSummary // inferred (annotation overlaid)
+	annotated      map[types.Object]*FuncSummary // //pktown: contracts
+	annotatedOrder []types.Object                // annotation targets in source order
+	reported       map[token.Pos]bool            // dedupe across loop passes
+	frame          *frame                        // function being analysed
 }
 
-type checker struct {
-	pass     *analysis.Pass
-	reported map[token.Pos]bool // dedupe across the second loop pass
+// frame is the per-function analysis context.
+type frame struct {
+	name     string
+	report   bool
+	paramIdx map[types.Object]int // *packet.Packet parameters by index
+	results  []types.Object       // named results (for bare returns), nil entries for unnamed
+	sum      *FuncSummary         // summary under construction
 }
 
 func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	if c.frame != nil && !c.frame.report {
+		return
+	}
 	if c.reported[pos] {
 		return
 	}
@@ -76,231 +171,219 @@ func (c *checker) reportf(pos token.Pos, format string, args ...any) {
 	c.pass.Reportf(pos, format, args...)
 }
 
-// walkStmts analyses one statement list, mutating st in place, and
-// reports whether the list always terminates abruptly (so a release made
-// inside it never reaches the code after the enclosing branch).
-func (c *checker) walkStmts(list []ast.Stmt, st released) bool {
-	for _, s := range list {
-		if c.walkStmt(s, st) {
+// analyzeFunc walks one function, returning its summary. With report set
+// it emits diagnostics; summaries must already be at fixpoint then.
+func (c *checker) analyzeFunc(decl *ast.FuncDecl, obj types.Object, report bool) *FuncSummary {
+	fr := &frame{
+		name:     decl.Name.Name,
+		report:   report,
+		paramIdx: make(map[types.Object]int),
+		sum:      &FuncSummary{},
+	}
+	idx := 0
+	if decl.Type.Params != nil {
+		for _, field := range decl.Type.Params.List {
+			names := field.Names
+			if len(names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range names {
+				if o := c.pass.ObjectOf(name); o != nil && isPacketPtr(o.Type()) {
+					fr.paramIdx[o] = idx
+				}
+				idx++
+			}
+		}
+	}
+	if decl.Type.Results != nil {
+		for _, field := range decl.Type.Results.List {
+			if len(field.Names) == 0 {
+				fr.results = append(fr.results, nil)
+				continue
+			}
+			for _, name := range field.Names {
+				fr.results = append(fr.results, c.pass.ObjectOf(name))
+			}
+		}
+	}
+	prev := c.frame
+	c.frame = fr
+	st := newState()
+	exits := c.walkStmts(decl.Body.List, st)
+	if !exits {
+		c.leakAll(st, "the fall-through at the end of "+fr.name)
+	}
+	c.frame = prev
+
+	// Annotations on the declaration override inference.
+	if ann := c.annotated[obj]; ann != nil {
+		for i, p := range ann.Params {
+			if fr.sum.Params == nil {
+				fr.sum.Params = make(map[int]ParamSummary)
+			}
+			fr.sum.Params[i] = p
+		}
+		for i, chain := range ann.Fresh {
+			fr.sum.setFresh(i, chain)
+		}
+	}
+	return fr.sum
+}
+
+// analyzeLit walks a function literal with its own frame and state.
+// The literal's summary is not recorded anywhere — literals are not
+// addressable by callers — but its body is checked with the same rules.
+func (c *checker) analyzeLit(lit *ast.FuncLit, report bool) {
+	fr := &frame{
+		name:     "the function literal",
+		report:   report,
+		paramIdx: make(map[types.Object]int),
+		sum:      &FuncSummary{},
+	}
+	idx := 0
+	if lit.Type.Params != nil {
+		for _, field := range lit.Type.Params.List {
+			names := field.Names
+			if len(names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range names {
+				if o := c.pass.ObjectOf(name); o != nil && isPacketPtr(o.Type()) {
+					fr.paramIdx[o] = idx
+				}
+				idx++
+			}
+		}
+	}
+	if lit.Type.Results != nil {
+		for _, field := range lit.Type.Results.List {
+			if len(field.Names) == 0 {
+				fr.results = append(fr.results, nil)
+				continue
+			}
+			for _, name := range field.Names {
+				fr.results = append(fr.results, c.pass.ObjectOf(name))
+			}
+		}
+	}
+	prev := c.frame
+	c.frame = fr
+	st := newState()
+	exits := c.walkStmts(lit.Body.List, st)
+	if !exits {
+		c.leakAll(st, "the fall-through at the end of "+fr.name)
+	}
+	c.frame = prev
+}
+
+// callEdges builds the package-local call graph: an edge from each
+// declared function to every declared function its body mentions.
+func (c *checker) callEdges() map[types.Object][]types.Object {
+	edges := make(map[types.Object][]types.Object, len(c.decls))
+	for obj, decl := range c.decls {
+		seen := make(map[types.Object]bool)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee := c.pass.ObjectOf(id)
+			if callee == nil || callee == obj || seen[callee] {
+				return true
+			}
+			if _, isDecl := c.decls[callee]; isDecl {
+				seen[callee] = true
+				edges[obj] = append(edges[obj], callee)
+			}
 			return true
-		}
+		})
 	}
-	return false
+	return edges
 }
 
-func (c *checker) walkStmt(s ast.Stmt, st released) bool {
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		c.checkExpr(s.X, st)
-	case *ast.AssignStmt:
-		for _, rhs := range s.Rhs {
-			c.checkExpr(rhs, st)
-		}
-		for _, lhs := range s.Lhs {
-			if id, ok := lhs.(*ast.Ident); ok {
-				// Rebinding the variable transfers in fresh ownership.
-				delete(st, c.pass.ObjectOf(id))
-			} else {
-				// p.f = v or q[i] = v reads the base object.
-				c.checkExpr(lhs, st)
+// tarjanSCCs returns the strongly connected components of the call graph
+// in reverse topological order (callees before callers). Nodes are
+// visited in the given (source) order, so the output is deterministic.
+func tarjanSCCs(nodes []types.Object, edges map[types.Object][]types.Object) [][]types.Object {
+	index := make(map[types.Object]int, len(nodes))
+	low := make(map[types.Object]int, len(nodes))
+	onStack := make(map[types.Object]bool, len(nodes))
+	var stack []types.Object
+	var sccs [][]types.Object
+	next := 0
+
+	var strongconnect func(v types.Object)
+	strongconnect = func(v types.Object) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range edges[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
 			}
 		}
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			c.checkExpr(e, st)
-		}
-		return true
-	case *ast.BranchStmt:
-		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
-	case *ast.IfStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, st)
-		}
-		c.checkExpr(s.Cond, st)
-		thenSt := st.clone()
-		thenExits := c.walkStmts(s.Body.List, thenSt)
-		elseSt := st.clone()
-		elseExits := false
-		if s.Else != nil {
-			elseExits = c.walkStmt(s.Else, elseSt)
-		}
-		merge(st, thenSt, thenExits)
-		merge(st, elseSt, elseExits)
-		return thenExits && elseExits && s.Else != nil
-	case *ast.BlockStmt:
-		return c.walkStmts(s.List, st)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, st)
-		}
-		if s.Cond != nil {
-			c.checkExpr(s.Cond, st)
-		}
-		c.loopBody(s.Body, s.Post, st)
-	case *ast.RangeStmt:
-		c.checkExpr(s.X, st)
-		c.loopBody(s.Body, nil, st)
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		c.walkBranches(s, st)
-	case *ast.DeferStmt:
-		c.checkExpr(s.Call, st)
-	case *ast.GoStmt:
-		c.checkExpr(s.Call, st)
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, v := range vs.Values {
-						c.checkExpr(v, st)
-					}
+		if low[v] == index[v] {
+			var scc []types.Object
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
 				}
 			}
-		}
-	case *ast.IncDecStmt:
-		c.checkExpr(s.X, st)
-	case *ast.SendStmt:
-		c.checkExpr(s.Chan, st)
-		c.checkExpr(s.Value, st)
-	case *ast.LabeledStmt:
-		return c.walkStmt(s.Stmt, st)
-	}
-	return false
-}
-
-// loopBody analyses a loop body twice: the second pass starts from the
-// first pass's exit state, so `pool.Put(p)` with p live across
-// iterations is reported as a double release.
-func (c *checker) loopBody(body *ast.BlockStmt, post ast.Stmt, st released) {
-	first := st.clone()
-	c.walkStmts(body.List, first)
-	if post != nil {
-		c.walkStmt(post, first)
-	}
-	second := first.clone()
-	c.walkStmts(body.List, second)
-	if post != nil {
-		c.walkStmt(post, second)
-	}
-	merge(st, second, false)
-}
-
-// walkBranches handles switch/type-switch/select: every clause starts
-// from the pre-branch state; non-terminating clauses merge back.
-func (c *checker) walkBranches(s ast.Stmt, st released) {
-	var body *ast.BlockStmt
-	switch s := s.(type) {
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, st)
-		}
-		if s.Tag != nil {
-			c.checkExpr(s.Tag, st)
-		}
-		body = s.Body
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, st)
-		}
-		body = s.Body
-	case *ast.SelectStmt:
-		body = s.Body
-	}
-	for _, cl := range body.List {
-		clSt := st.clone()
-		var exits bool
-		switch cl := cl.(type) {
-		case *ast.CaseClause:
-			for _, e := range cl.List {
-				c.checkExpr(e, clSt)
+			// Restore deterministic source order within the component.
+			for i, j := 0, len(scc)-1; i < j; i, j = i+1, j-1 {
+				scc[i], scc[j] = scc[j], scc[i]
 			}
-			exits = c.walkStmts(cl.Body, clSt)
-		case *ast.CommClause:
-			if cl.Comm != nil {
-				c.walkStmt(cl.Comm, clSt)
-			}
-			exits = c.walkStmts(cl.Body, clSt)
-		}
-		merge(st, clSt, exits)
-	}
-}
-
-// merge folds branch releases into the fall-through state. Terminating
-// branches contribute nothing: their releases cannot reach the join.
-func merge(into, branch released, branchExits bool) {
-	if branchExits {
-		return
-	}
-	for k, v := range branch {
-		if _, ok := into[k]; !ok {
-			into[k] = v
+			sccs = append(sccs, scc)
 		}
 	}
-}
-
-// checkExpr reports reads of released packets within e, records releases,
-// and descends into function literals with a fresh state.
-func (c *checker) checkExpr(e ast.Expr, st released) {
-	if e == nil {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			c.walkStmts(n.Body.List, released{})
-			return false
-		case *ast.CallExpr:
-			if obj := c.releaseArg(n); obj != nil {
-				// Receiver and other arguments are still plain reads.
-				c.checkExpr(n.Fun, st)
-				if pos, ok := st[obj]; ok {
-					c.reportf(n.Pos(), "packet %q released twice (already released at %s)",
-						obj.Name(), c.pass.Fset.Position(pos))
-				}
-				st[obj] = n.Pos()
-				return false
-			}
-		case *ast.Ident:
-			obj := c.pass.ObjectOf(n)
-			if pos, ok := st[obj]; ok {
-				c.reportf(n.Pos(), "packet %q used after release to the pool (released at %s)",
-					n.Name, c.pass.Fset.Position(pos))
-			}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
 		}
-		return true
-	})
+	}
+	return sccs
 }
 
-// releaseArg returns the packet variable being released if call is
-// pool.Put(p) on an internal/packet.Pool (matched by type: a method named
-// Put whose receiver is type Pool in a package named "packet"), else nil.
-func (c *checker) releaseArg(call *ast.CallExpr) types.Object {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 {
+// summaryFor resolves the ownership contract of a callee: local inferred
+// summaries first (annotation already overlaid), then local annotations
+// (interface methods declared in this package), then the cross-package
+// store.
+func (c *checker) summaryFor(fn *types.Func) *FuncSummary {
+	if fn == nil {
 		return nil
 	}
-	fn, ok := c.pass.ObjectOf(sel.Sel).(*types.Func)
-	if !ok {
-		return nil
+	if obj, ok := c.objFor(fn); ok {
+		if s := c.summaries[obj]; s != nil {
+			return s
+		}
+		if s := c.annotated[obj]; s != nil {
+			return s
+		}
 	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return nil
+	if v, ok := c.pass.Summaries.Lookup(funcKey(fn)); ok {
+		if s, ok := v.(*FuncSummary); ok {
+			return s
+		}
 	}
-	rt := sig.Recv().Type()
-	if p, ok := rt.(*types.Pointer); ok {
-		rt = p.Elem()
+	return nil
+}
+
+func (c *checker) objFor(fn *types.Func) (types.Object, bool) {
+	if fn.Pkg() == c.pass.Pkg {
+		return fn, true
 	}
-	named, ok := rt.(*types.Named)
-	if !ok || named.Obj().Name() != "Pool" || named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "packet" {
-		return nil
-	}
-	id, ok := call.Args[0].(*ast.Ident)
-	if !ok {
-		return nil
-	}
-	obj := c.pass.ObjectOf(id)
-	if _, ok := obj.(*types.Var); !ok {
-		return nil
-	}
-	return obj
+	return nil, false
 }

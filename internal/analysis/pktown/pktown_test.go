@@ -11,5 +11,7 @@ func TestPktOwn(t *testing.T) {
 	analysistest.Run(t, pktown.Analyzer,
 		"pktown_bad",
 		"pktown_clean",
+		"pktown_interproc_bad",
+		"pktown_interproc_clean",
 	)
 }

@@ -1,0 +1,348 @@
+package pktown
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cebinae/internal/analysis"
+)
+
+// ParamMode classifies what a function does with a *packet.Packet
+// parameter. The modes form a join lattice ordered by how much of the
+// caller's ownership the callee takes: summaries merge by max, and a
+// larger mode always implies the caller must not touch the packet after
+// the call (except Borrows, and Enqueues only on the success branch).
+type ParamMode uint8
+
+const (
+	// ModeBorrows: the callee only reads the packet; the caller keeps
+	// ownership. The default for unknown callees.
+	ModeBorrows ParamMode = iota
+	// ModeEnqueues: the callee stores the packet iff its (single, bool)
+	// result is true — the qdisc admission idiom. On the false branch the
+	// caller still owns the packet and must dispose of it.
+	ModeEnqueues
+	// ModeStores: the packet escapes into a field, slice, channel or
+	// interface value on some path; the caller must not use it again.
+	ModeStores
+	// ModeConsumes: the callee releases the packet to the pool (or
+	// forwards it to a consuming callee) on some path.
+	ModeConsumes
+)
+
+func (m ParamMode) String() string {
+	switch m {
+	case ModeEnqueues:
+		return "enqueues"
+	case ModeStores:
+		return "stores"
+	case ModeConsumes:
+		return "consumes"
+	}
+	return "borrows"
+}
+
+// A ParamSummary is one parameter's classification plus the call chain
+// that justifies it, for diagnostics ("push → an append").
+type ParamSummary struct {
+	Mode  ParamMode
+	Chain string
+}
+
+// A FuncSummary is the ownership contract of one function: parameter
+// modes by flattened parameter index (only *packet.Packet parameters
+// appear) and result freshness by result index (only results that carry
+// ownership to the caller appear; absent means borrowed).
+type FuncSummary struct {
+	Params map[int]ParamSummary
+	Fresh  map[int]string // result index → provenance chain
+}
+
+func (s *FuncSummary) empty() bool {
+	return s == nil || (len(s.Params) == 0 && len(s.Fresh) == 0)
+}
+
+func (s *FuncSummary) equal(o *FuncSummary) bool {
+	if s.empty() || o.empty() {
+		return s.empty() == o.empty()
+	}
+	if len(s.Params) != len(o.Params) || len(s.Fresh) != len(o.Fresh) {
+		return false
+	}
+	for i, p := range s.Params {
+		if o.Params[i] != p {
+			return false
+		}
+	}
+	for i, c := range s.Fresh {
+		if o.Fresh[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// setParam raises parameter i to mode (modes only grow during the SCC
+// fixpoint, which guarantees termination). The first chain that
+// establishes a mode is kept so diagnostics are stable.
+func (s *FuncSummary) setParam(i int, mode ParamMode, chain string) {
+	if s.Params == nil {
+		s.Params = make(map[int]ParamSummary)
+	}
+	if prev, ok := s.Params[i]; ok && prev.Mode >= mode {
+		return
+	}
+	s.Params[i] = ParamSummary{Mode: mode, Chain: chain}
+}
+
+func (s *FuncSummary) setFresh(i int, chain string) {
+	if s.Fresh == nil {
+		s.Fresh = make(map[int]string)
+	}
+	if _, ok := s.Fresh[i]; !ok {
+		s.Fresh[i] = chain
+	}
+}
+
+// funcKey is the stable cross-package identity of a function:
+// "pkgpath.Recv.Name" (receiver pointerness stripped, interface methods
+// keyed by the interface type). types.Object identity cannot serve here —
+// the object a caller package sees through export data differs from the
+// one the declaring package was checked with — but this string does not.
+func funcKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(fn.Pkg().Path())
+	b.WriteByte('.')
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if n, ok := rt.(*types.Named); ok {
+			b.WriteString(n.Obj().Name())
+		} else {
+			b.WriteString(rt.String())
+		}
+		b.WriteByte('.')
+	}
+	b.WriteString(fn.Name())
+	return b.String()
+}
+
+// isPacketPtr reports whether t is *packet.Packet (matched by type and
+// package name so the analyzer works against both the real
+// internal/packet and the fixture stub).
+func isPacketPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Packet" && obj.Pkg() != nil && obj.Pkg().Name() == "packet"
+}
+
+// poolMethod reports whether fn is the named method on
+// internal/packet.Pool.
+func poolMethod(fn *types.Func, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	n, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Name() == "packet"
+}
+
+// inModule reports whether fn is declared in this module (or a fixture
+// package): the interface-parameter escape rule applies only to our own
+// sinks (sim.ScheduleCall and friends), never to fmt and the like.
+func inModule(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return !strings.Contains(path, ".") || path == "cebinae" || strings.HasPrefix(path, "cebinae/")
+}
+
+// ---- //pktown: directives ----------------------------------------------
+//
+//	//pktown:consumes <param> <reason>
+//	//pktown:stores   <param> <reason>
+//	//pktown:enqueues <param> <reason>
+//	//pktown:borrows  <param> <reason>
+//	//pktown:fresh    return  <reason>
+//
+// placed in the doc comment of a function declaration or an interface
+// method. The reason is mandatory, mirroring //lint:ignore. Annotations
+// override inference and are the only way to give an interface method a
+// non-default contract (interface bodies cannot be inferred).
+
+// collectAnnotations parses every //pktown: comment in the package,
+// attaches well-formed ones to their function or interface method, and
+// reports malformed or misplaced ones. It returns summaries keyed by the
+// declaring object plus the targets in source order (for deterministic
+// export).
+func collectAnnotations(pass *analysis.Pass) (map[types.Object]*FuncSummary, []types.Object) {
+	out := make(map[types.Object]*FuncSummary)
+	var order []types.Object
+	handled := make(map[*ast.Comment]bool)
+
+	attach := func(doc *ast.CommentGroup, obj types.Object, params *ast.FieldList, results *ast.FieldList) {
+		if doc == nil || obj == nil {
+			return
+		}
+		for _, cm := range doc.List {
+			rest, ok := strings.CutPrefix(cm.Text, "//pktown:")
+			if !ok {
+				continue
+			}
+			handled[cm] = true
+			fields := strings.Fields(rest)
+			if len(fields) < 3 {
+				pass.Reportf(cm.Pos(), "malformed //pktown: directive: need `//pktown:<mode> <param|return> <reason>` (the reason is mandatory)")
+				continue
+			}
+			mode, target := fields[0], fields[1]
+			sum := out[obj]
+			if sum == nil {
+				sum = &FuncSummary{}
+				out[obj] = sum
+				order = append(order, obj)
+			}
+			switch mode {
+			case "fresh":
+				if target != "return" {
+					pass.Reportf(cm.Pos(), "//pktown:fresh target must be `return`, got %q", target)
+					continue
+				}
+				idx, ok := packetResultIndex(pass, results)
+				if !ok {
+					pass.Reportf(cm.Pos(), "//pktown:fresh on a function with no *packet.Packet result")
+					continue
+				}
+				sum.setFresh(idx, "//pktown:fresh")
+			case "consumes", "stores", "enqueues", "borrows":
+				idx, ok := packetParamIndex(pass, params, target)
+				if !ok {
+					pass.Reportf(cm.Pos(), "//pktown:%s target %q is not a *packet.Packet parameter of this function", mode, target)
+					continue
+				}
+				m := map[string]ParamMode{
+					"consumes": ModeConsumes, "stores": ModeStores,
+					"enqueues": ModeEnqueues, "borrows": ModeBorrows,
+				}[mode]
+				// setParam keeps the max mode; force the annotated one.
+				if sum.Params == nil {
+					sum.Params = make(map[int]ParamSummary)
+				}
+				sum.Params[idx] = ParamSummary{Mode: m, Chain: "//pktown:" + mode}
+			default:
+				pass.Reportf(cm.Pos(), "unknown //pktown: mode %q (want consumes, stores, enqueues, borrows, or fresh)", mode)
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				attach(n.Doc, pass.ObjectOf(n.Name), n.Type.Params, n.Type.Results)
+			case *ast.InterfaceType:
+				for _, m := range n.Methods.List {
+					if len(m.Names) != 1 {
+						continue // embedded interface
+					}
+					ft, ok := m.Type.(*ast.FuncType)
+					if !ok {
+						continue
+					}
+					attach(m.Doc, pass.ObjectOf(m.Names[0]), ft.Params, ft.Results)
+				}
+			}
+			return true
+		})
+		// Anything left over sits on a comment the attachment walk never
+		// reached: a misplaced directive that silently binds to nothing.
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				if strings.HasPrefix(cm.Text, "//pktown:") && !handled[cm] {
+					pass.Reportf(cm.Pos(), "misplaced //pktown: directive: it must be in the doc comment of a function declaration or interface method")
+				}
+			}
+		}
+	}
+	return out, order
+}
+
+// packetParamIndex resolves a parameter name from a directive to its
+// flattened index, requiring the parameter to be *packet.Packet.
+func packetParamIndex(pass *analysis.Pass, params *ast.FieldList, name string) (int, bool) {
+	if params == nil {
+		return 0, false
+	}
+	idx := 0
+	for _, field := range params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter still occupies an index
+		}
+		for i := 0; i < n; i++ {
+			if i < len(field.Names) && field.Names[i].Name == name {
+				if t := pass.TypeOf(field.Type); t != nil && isPacketPtr(t) {
+					return idx, true
+				}
+				return 0, false
+			}
+			idx++
+		}
+	}
+	return 0, false
+}
+
+// packetResultIndex returns the index of the first *packet.Packet result.
+func packetResultIndex(pass *analysis.Pass, results *ast.FieldList) (int, bool) {
+	if results == nil {
+		return 0, false
+	}
+	idx := 0
+	for _, field := range results.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			if t := pass.TypeOf(field.Type); t != nil && isPacketPtr(t) {
+				return idx, true
+			}
+			idx++
+		}
+	}
+	return 0, false
+}
+
+// describeMode renders a summary entry for a diagnostic chain.
+func describeChain(callee string, chain string) string {
+	if chain == "" {
+		return fmt.Sprintf("%q", callee)
+	}
+	return fmt.Sprintf("%s → %s", callee, chain)
+}

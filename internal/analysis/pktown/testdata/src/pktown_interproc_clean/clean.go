@@ -1,0 +1,97 @@
+// Package pktown_interproc_clean holds the sanctioned interprocedural
+// ownership idioms: borrowing helpers, store-then-hands-off, fresh
+// returns, and the annotated-interface enqueue/dequeue contracts. None of
+// these may produce a diagnostic.
+package pktown_interproc_clean
+
+import "packet"
+
+// ---- borrow: the helper only reads, the caller keeps ownership ---------
+
+func size(p *packet.Packet) int64 { return p.Size }
+
+func borrowThenRelease(pl *packet.Pool, p *packet.Packet) int64 {
+	n := size(p)
+	pl.Put(p)
+	return n
+}
+
+// ---- consume helper used once ------------------------------------------
+
+func release(pl *packet.Pool, p *packet.Packet) { pl.Put(p) }
+
+func deliverViaHelper(pl *packet.Pool, p *packet.Packet) int64 {
+	n := p.Size // accounting precedes the hand-off
+	release(pl, p)
+	return n
+}
+
+// ---- store idiom: account first, then hand off to the ring -------------
+
+type ring struct {
+	buf  []*packet.Packet
+	head int
+}
+
+func (r *ring) push(p *packet.Packet) {
+	r.buf[r.head%len(r.buf)] = p
+	r.head++
+}
+
+func account(r *ring, p *packet.Packet) int64 {
+	n := p.Size
+	r.push(p)
+	return n
+}
+
+// ---- fresh return: ownership flows out through the result --------------
+
+func alloc(pl *packet.Pool, sz int64) *packet.Packet {
+	p := pl.Get()
+	p.Size = sz
+	return p
+}
+
+func allocUseRelease(pl *packet.Pool) int64 {
+	p := alloc(pl, 64)
+	n := p.Size
+	pl.Put(p)
+	return n
+}
+
+// ---- annotated interface contracts -------------------------------------
+
+type qdisc interface {
+	// Enqueue admits p.
+	//
+	//pktown:enqueues p on success the discipline owns the packet; on failure the caller keeps it
+	Enqueue(p *packet.Packet) bool
+	// Dequeue surrenders the next packet.
+	//
+	//pktown:fresh return a dequeued packet belongs to the caller
+	Dequeue() *packet.Packet
+}
+
+// send shows the sanctioned failure-path release: on the failed branch
+// the caller still owns p (it may account and release); on success the
+// discipline owns it and p is not touched again.
+func send(q qdisc, pl *packet.Pool, p *packet.Packet, drops *int64) {
+	if !q.Enqueue(p) {
+		*drops += p.Size
+		pl.Put(p)
+	}
+}
+
+// drain shows the nil-checked dequeue loop: every popped packet is
+// released before the next iteration, and the nil arm exits cleanly.
+func drain(q qdisc, pl *packet.Pool) int64 {
+	var total int64
+	for {
+		p := q.Dequeue()
+		if p == nil {
+			return total
+		}
+		total += p.Size
+		pl.Put(p)
+	}
+}

@@ -1,0 +1,947 @@
+package pktown
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ---- abstract state -----------------------------------------------------
+
+// dk says how a packet variable's ownership left this function.
+type dk uint8
+
+const (
+	dkReleased dk = iota // Pool.Put
+	dkHandoff            // passed to a consuming/storing callee
+	dkStored             // directly stored into a field/slice/channel
+)
+
+// deadInfo: the variable must not be used again; pos/who/chain say why.
+type deadInfo struct {
+	kind  dk
+	pos   token.Pos
+	who   string // `"push"` (callee) or "a channel send" (direct store)
+	chain string // "push → an append" — the call chain taking ownership
+}
+
+// ownInfo: the variable holds a fresh packet this function must release,
+// return, or store on every path.
+type ownInfo struct {
+	pos token.Pos // acquisition site (reported on leak)
+	src string    // "Pool.Get" or `"Dequeue"`
+}
+
+type ownState struct {
+	dead  map[types.Object]*deadInfo
+	owned map[types.Object]*ownInfo
+}
+
+func newState() *ownState {
+	return &ownState{dead: make(map[types.Object]*deadInfo), owned: make(map[types.Object]*ownInfo)}
+}
+
+func (s *ownState) clone() *ownState {
+	out := newState()
+	for k, v := range s.dead {
+		out.dead[k] = v
+	}
+	for k, v := range s.owned {
+		out.owned[k] = v
+	}
+	return out
+}
+
+func (s *ownState) reset() {
+	clear(s.dead)
+	clear(s.owned)
+}
+
+// union folds another path's facts in: dead is may-dead (any path
+// suffices), owned is may-still-owned (a leak on any path is a leak).
+// First writer wins so diagnostics are stable in walk order.
+func (s *ownState) union(o *ownState) {
+	for k, v := range o.dead {
+		if _, ok := s.dead[k]; !ok {
+			s.dead[k] = v
+		}
+	}
+	for k, v := range o.owned {
+		if _, ok := s.owned[k]; !ok {
+			s.owned[k] = v
+		}
+	}
+}
+
+// ---- statement walk -----------------------------------------------------
+
+// walkStmts analyses one statement list, mutating st in place, and
+// reports whether the list always terminates abruptly (so facts
+// established inside it never reach the code after the enclosing branch).
+func (c *checker) walkStmts(list []ast.Stmt, st *ownState) bool {
+	for _, s := range list {
+		if c.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) walkStmt(s ast.Stmt, st *ownState) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		c.checkExpr(s.X, st)
+		if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+				if _, isB := c.pass.ObjectOf(id).(*types.Builtin); isB && id.Name == "panic" {
+					return true
+				}
+			}
+			if fresh := c.freshResults(call); len(fresh) > 0 {
+				c.reportf(call.Pos(), "discarded result of %s carries ownership of a pooled packet; release, store, or return it (leak)",
+					c.calleeLabel(call))
+			}
+		}
+	case *ast.AssignStmt:
+		c.walkAssign(s, st)
+	case *ast.ReturnStmt:
+		c.walkReturn(s, st)
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
+	case *ast.IfStmt:
+		return c.walkIf(s, st)
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, st)
+		}
+		c.loopBody(s.Body, s.Post, st)
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, st)
+		if s.Tok == token.DEFINE {
+			for _, kv := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := kv.(*ast.Ident); ok {
+					if obj := c.pass.ObjectOf(id); obj != nil {
+						delete(st.dead, obj)
+						delete(st.owned, obj)
+					}
+				}
+			}
+		}
+		c.loopBody(s.Body, nil, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.walkBranches(s, st)
+	case *ast.DeferStmt:
+		c.checkCall(s.Call, st, true)
+	case *ast.GoStmt:
+		c.checkCall(s.Call, st, false)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if len(vs.Values) == len(vs.Names) {
+					for i := range vs.Names {
+						c.assignOne(vs.Names[i], vs.Values[i], st)
+					}
+				} else {
+					for _, v := range vs.Values {
+						c.checkExpr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.checkExpr(s.X, st)
+	case *ast.SendStmt:
+		c.checkExpr(s.Chan, st)
+		if obj := c.trackedArg(s.Value); obj != nil {
+			c.noteRead(s.Value.Pos(), obj, st)
+			c.storeEvent(obj, s.Value.Pos(), "a channel send", st)
+		} else {
+			c.checkExpr(s.Value, st)
+		}
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, st)
+	}
+	return false
+}
+
+// walkIf is branch-aware: the post-if state is recomposed from the
+// surviving branch out-states only, so a branch that discharges an
+// obligation (Put, store) is honoured at the join. Two conditions get
+// special treatment: `if p == nil` prunes ownership on the nil arm (the
+// Dequeue-empty idiom), and `if q.Enqueue(p)` / `if !q.Enqueue(p)`
+// transfers ownership only on the success arm (the qdisc admission
+// idiom, driven by a //pktown:enqueues summary).
+func (c *checker) walkIf(s *ast.IfStmt, st *ownState) bool {
+	if s.Init != nil {
+		c.walkStmt(s.Init, st)
+	}
+	enq := c.enqueueCond(s.Cond, st)
+	if enq == nil {
+		c.checkExpr(s.Cond, st)
+	}
+	nm := c.nilCond(s.Cond)
+
+	thenSt := st.clone()
+	elseSt := st.clone() // also the fall-through state when there is no else
+	if enq != nil {
+		succSt := thenSt
+		if enq.neg {
+			succSt = elseSt
+		}
+		c.handoffEvent(enq.obj, enq.pos, ModeStores, enq.who, enq.chain, succSt, false)
+	}
+	if nm != nil {
+		nilSt := thenSt
+		if !nm.eq {
+			nilSt = elseSt
+		}
+		delete(nilSt.owned, nm.obj) // nil ⇒ there is no packet to own
+	}
+	thenExits := c.walkStmts(s.Body.List, thenSt)
+	elseExits := false
+	if s.Else != nil {
+		elseExits = c.walkStmt(s.Else, elseSt)
+	}
+	st.reset()
+	if !thenExits {
+		st.union(thenSt)
+	}
+	if !elseExits {
+		st.union(elseSt)
+	}
+	return thenExits && elseExits && s.Else != nil
+}
+
+func (c *checker) walkAssign(s *ast.AssignStmt, st *ownState) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		// Op-assign (+= …) reads both sides and rebinds nothing.
+		for _, e := range s.Rhs {
+			c.checkExpr(e, st)
+		}
+		for _, e := range s.Lhs {
+			c.checkExpr(e, st)
+		}
+		return
+	}
+	if len(s.Lhs) > 1 && len(s.Rhs) == 1 {
+		// Tuple: a, b := f() — bind fresh results positionally.
+		var fresh map[int]string
+		call, isCall := unparen(s.Rhs[0]).(*ast.CallExpr)
+		if isCall {
+			fresh = c.freshResults(call)
+		}
+		c.checkExpr(s.Rhs[0], st)
+		for i, lhs := range s.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				c.checkExpr(lhs, st)
+				continue
+			}
+			obj := c.pass.ObjectOf(id)
+			if obj == nil {
+				continue // blank identifier
+			}
+			c.rebind(obj, id.Pos(), st)
+			if src, ok := fresh[i]; ok && isPacketVar(obj) {
+				st.owned[obj] = &ownInfo{pos: call.Pos(), src: src}
+			}
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if i < len(s.Rhs) {
+			rhs = s.Rhs[i]
+		}
+		c.assignOne(lhs, rhs, st)
+	}
+}
+
+// assignOne handles a single lhs ← rhs pair, recognising the ownership
+// idioms: binding a fresh result, transferring via alias, storing a
+// tracked packet into a field/element, and plain rebinding.
+func (c *checker) assignOne(lhs, rhs ast.Expr, st *ownState) {
+	id, isIdent := lhs.(*ast.Ident)
+	if isIdent {
+		lobj := c.pass.ObjectOf(id)
+		if lobj == nil { // blank identifier
+			if rhs != nil {
+				c.checkExpr(rhs, st)
+			}
+			return
+		}
+		// q := p — alias transfer: q inherits p's ownership and fate.
+		if robj := c.trackedArg(rhs); robj != nil && robj != lobj {
+			c.noteRead(rhs.Pos(), robj, st)
+			c.rebind(lobj, id.Pos(), st)
+			if oi, ok := st.owned[robj]; ok {
+				st.owned[lobj] = oi
+				delete(st.owned, robj)
+			}
+			if di, ok := st.dead[robj]; ok {
+				st.dead[lobj] = di
+			}
+			return
+		}
+		// p := pool.Get() / p := q.Dequeue() — fresh ownership in.
+		if call, ok := unparen(rhs).(*ast.CallExpr); ok && isPacketVar(lobj) {
+			if fresh := c.freshResults(call); fresh != nil {
+				if src, ok := fresh[0]; ok {
+					c.checkExpr(rhs, st)
+					c.rebind(lobj, id.Pos(), st)
+					st.owned[lobj] = &ownInfo{pos: call.Pos(), src: src}
+					return
+				}
+			}
+		}
+		if rhs != nil {
+			c.checkExpr(rhs, st)
+		}
+		c.rebind(lobj, id.Pos(), st)
+		return
+	}
+	// x.f = p / s[i] = p / *q = p — the packet escapes into the target.
+	if robj := c.trackedArg(rhs); robj != nil && isStoreTarget(lhs) {
+		c.noteRead(rhs.Pos(), robj, st)
+		c.storeEvent(robj, rhs.Pos(), storeNoun(lhs), st)
+		c.checkExpr(lhs, st)
+		return
+	}
+	if rhs != nil {
+		c.checkExpr(rhs, st)
+	}
+	c.checkExpr(lhs, st)
+}
+
+func (c *checker) walkReturn(s *ast.ReturnStmt, st *ownState) {
+	// return q.Enqueue(p) — the bool result forwards the admission
+	// condition, so this function enqueues p rather than stores it.
+	if len(s.Results) == 1 {
+		if enq := c.enqueueCond(s.Results[0], st); enq != nil {
+			if i, ok := c.frame.paramIdx[enq.obj]; ok {
+				c.frame.sum.setParam(i, ModeEnqueues, enq.chain)
+			}
+			delete(st.owned, enq.obj)
+			c.leakAll(st, c.pathAt(s.Pos()))
+			return
+		}
+	}
+	for i, e := range s.Results {
+		c.checkExpr(e, st)
+		if id, ok := unparen(e).(*ast.Ident); ok {
+			obj := c.pass.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if oi, ok := st.owned[obj]; ok {
+				delete(st.owned, obj)
+				c.frame.sum.setFresh(i, oi.src)
+			}
+			continue
+		}
+		if call, ok := unparen(e).(*ast.CallExpr); ok {
+			if fresh := c.freshResults(call); fresh != nil {
+				if len(s.Results) == 1 {
+					for ri, src := range fresh {
+						c.frame.sum.setFresh(ri, src)
+					}
+				} else if src, ok := fresh[0]; ok {
+					c.frame.sum.setFresh(i, src)
+				}
+			}
+		}
+	}
+	if len(s.Results) == 0 {
+		// Bare return: named results carry ownership out.
+		for i, robj := range c.frame.results {
+			if robj == nil {
+				continue
+			}
+			if oi, ok := st.owned[robj]; ok {
+				delete(st.owned, robj)
+				c.frame.sum.setFresh(i, oi.src)
+			}
+		}
+	}
+	c.leakAll(st, c.pathAt(s.Pos()))
+}
+
+func (c *checker) pathAt(pos token.Pos) string {
+	return fmt.Sprintf("the return at line %d", c.pass.Fset.Position(pos).Line)
+}
+
+// leakAll reports every packet still owned when a path leaves the
+// function: it was neither released, returned, nor stored.
+func (c *checker) leakAll(st *ownState, path string) {
+	for obj, oi := range st.owned {
+		c.reportf(oi.pos, "packet %q obtained from %s is leaked: %s neither releases, returns, nor stores it",
+			obj.Name(), oi.src, path)
+	}
+}
+
+// loopBody analyses a loop body twice: the second pass starts from the
+// first pass's exit state, so a hazard that survives to the next
+// iteration (release of a loop-carried packet, a leaked re-Get) is
+// caught. The post-loop state keeps the pre-loop facts — the loop may
+// run zero times.
+func (c *checker) loopBody(body *ast.BlockStmt, post ast.Stmt, st *ownState) {
+	first := st.clone()
+	c.walkStmts(body.List, first)
+	if post != nil {
+		c.walkStmt(post, first)
+	}
+	second := first.clone()
+	c.walkStmts(body.List, second)
+	if post != nil {
+		c.walkStmt(post, second)
+	}
+	st.union(second)
+}
+
+// walkBranches handles switch/type-switch/select: every clause starts
+// from the pre-branch state; the post state is recomposed from the
+// surviving clause out-states, plus the pre state when no default clause
+// guarantees a branch is taken. Reports termination when every clause
+// exits and a default exists.
+func (c *checker) walkBranches(s ast.Stmt, st *ownState) bool {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	pre := st.clone()
+	st.reset()
+	hasDefault := false
+	allExit := len(body.List) > 0
+	for _, cl := range body.List {
+		clSt := pre.clone()
+		var exits bool
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				c.checkExpr(e, clSt)
+			}
+			exits = c.walkStmts(cl.Body, clSt)
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				c.walkStmt(cl.Comm, clSt)
+			}
+			exits = c.walkStmts(cl.Body, clSt)
+		}
+		if !exits {
+			st.union(clSt)
+			allExit = false
+		}
+	}
+	if !hasDefault {
+		st.union(pre)
+	}
+	return allExit && hasDefault
+}
+
+// ---- expression walk ----------------------------------------------------
+
+// checkExpr reports reads of dead packets within e, applies ownership
+// events from calls, composite literals, address-taking and function
+// literals, and descends everywhere else.
+func (c *checker) checkExpr(e ast.Expr, st *ownState) {
+	if e == nil {
+		return
+	}
+	var pending []func() // store events applied after the read checks
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.captureLit(n, st)
+			c.analyzeLit(n, c.frame.report)
+			return false
+		case *ast.CallExpr:
+			c.checkCall(n, st, false)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if obj := c.trackedArg(n.X); obj != nil {
+					// Address taken: the packet is reachable through the
+					// alias; stop tracking the variable entirely.
+					c.noteRead(n.X.Pos(), obj, st)
+					delete(st.owned, obj)
+					delete(st.dead, obj)
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if obj := c.trackedArg(v); obj != nil {
+					obj, pos := obj, v.Pos()
+					pending = append(pending, func() {
+						c.storeEvent(obj, pos, "a composite literal", st)
+					})
+				}
+			}
+		case *ast.Ident:
+			if obj := c.pass.ObjectOf(n); obj != nil {
+				c.noteRead(n.Pos(), obj, st)
+			}
+		}
+		return true
+	})
+	for _, f := range pending {
+		f()
+	}
+}
+
+// captureLit discharges ownership of every packet the literal captures:
+// the closure is now responsible for (or a co-owner of) the packet, and
+// intra-closure checks take over.
+func (c *checker) captureLit(lit *ast.FuncLit, st *ownState) {
+	if len(st.owned) == 0 {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.ObjectOf(id); obj != nil {
+				delete(st.owned, obj)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall applies the callee's ownership contract to each argument:
+// Pool.Put releases, summarised callees consume/store/enqueue/borrow,
+// packets passed as interface values to module code escape, and builtin
+// append stores. deferred calls discharge obligations without killing
+// the variable (the defer runs at function exit).
+func (c *checker) checkCall(call *ast.CallExpr, st *ownState, deferred bool) {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := c.pass.ObjectOf(id).(*types.Builtin); isB {
+			if id.Name == "append" && len(call.Args) > 0 {
+				c.checkExpr(call.Args[0], st)
+				for _, a := range call.Args[1:] {
+					if obj := c.trackedArg(a); obj != nil {
+						c.noteRead(a.Pos(), obj, st)
+						c.storeEvent(obj, a.Pos(), "an append", st)
+					} else {
+						c.checkExpr(a, st)
+					}
+				}
+				return
+			}
+			for _, a := range call.Args {
+				c.checkExpr(a, st)
+			}
+			return
+		}
+	}
+	if obj := c.releaseArg(call); obj != nil {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			c.checkExpr(sel.X, st)
+		}
+		c.releaseEvent(obj, call.Pos(), st, deferred)
+		return
+	}
+
+	fn := c.calleeFunc(call)
+	sum := c.summaryFor(fn)
+	sig, _ := c.pass.TypeOf(call.Fun).(*types.Signature)
+	switch f := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		c.checkExpr(f.X, st)
+	case *ast.Ident:
+		// Plain function name; nothing to read.
+	default:
+		c.checkExpr(call.Fun, st)
+	}
+	name := c.calleeLabel(call)
+	for i, a := range call.Args {
+		obj := c.trackedArg(a)
+		if obj == nil {
+			c.checkExpr(a, st)
+			continue
+		}
+		pi, ptype := paramAt(sig, i)
+		mode, chain := ModeBorrows, ""
+		if sum != nil {
+			if ps, ok := sum.Params[pi]; ok {
+				mode, chain = ps.Mode, composeChain(fn.Name(), ps.Chain)
+			}
+		}
+		if mode == ModeBorrows && ptype != nil && types.IsInterface(ptype) && inModule(fn) {
+			// Handing a packet to module code through an interface-typed
+			// parameter (sim.ScheduleCall payloads, event args) parks it
+			// where the analyzer cannot follow: treat as an escape.
+			mode, chain = ModeStores, "escapes via an interface-typed parameter"
+		}
+		switch mode {
+		case ModeBorrows:
+			c.noteRead(a.Pos(), obj, st)
+		case ModeEnqueues:
+			// Outside the recognised if/return forms the success branch
+			// is unknown: conservatively the packet may be stored.
+			c.handoffEvent(obj, call.Pos(), ModeStores, name, chain, st, deferred)
+		default:
+			c.handoffEvent(obj, call.Pos(), mode, name, chain, st, deferred)
+		}
+	}
+}
+
+// ---- events and reports -------------------------------------------------
+
+// noteRead reports a use of a dead packet variable.
+func (c *checker) noteRead(pos token.Pos, obj types.Object, st *ownState) {
+	di, ok := st.dead[obj]
+	if !ok {
+		return
+	}
+	switch di.kind {
+	case dkReleased:
+		c.reportf(pos, "packet %q used after release to the pool (released at %s)",
+			obj.Name(), c.pass.Fset.Position(di.pos))
+	case dkHandoff:
+		c.reportf(pos, "packet %q used after hand-off to %s at %s (%s)",
+			obj.Name(), di.who, c.pass.Fset.Position(di.pos), di.chain)
+	default:
+		c.reportf(pos, "packet %q used after being stored (%s at %s)",
+			obj.Name(), di.who, c.pass.Fset.Position(di.pos))
+	}
+}
+
+// releaseEvent handles pool.Put(p).
+func (c *checker) releaseEvent(obj types.Object, pos token.Pos, st *ownState, deferred bool) {
+	if di, ok := st.dead[obj]; ok {
+		switch di.kind {
+		case dkReleased:
+			c.reportf(pos, "packet %q released twice (already released at %s)",
+				obj.Name(), c.pass.Fset.Position(di.pos))
+		case dkHandoff:
+			c.reportf(pos, "packet %q released twice (already handed off to %s at %s via %s)",
+				obj.Name(), di.who, c.pass.Fset.Position(di.pos), di.chain)
+		default:
+			c.reportf(pos, "packet %q released after being stored (%s at %s)",
+				obj.Name(), di.who, c.pass.Fset.Position(di.pos))
+		}
+	}
+	delete(st.owned, obj)
+	if !deferred {
+		if _, ok := st.dead[obj]; !ok {
+			st.dead[obj] = &deadInfo{kind: dkReleased, pos: pos}
+		}
+	}
+	if i, ok := c.frame.paramIdx[obj]; ok {
+		c.frame.sum.setParam(i, ModeConsumes, "Pool.Put")
+	}
+}
+
+// handoffEvent handles passing obj to a callee that consumes or stores
+// it (per summary), recording the summary event when obj is a parameter.
+func (c *checker) handoffEvent(obj types.Object, pos token.Pos, mode ParamMode, who, chain string, st *ownState, deferred bool) {
+	if di, ok := st.dead[obj]; ok {
+		switch di.kind {
+		case dkReleased:
+			c.reportf(pos, "packet %q handed off to %s after release to the pool (released at %s)",
+				obj.Name(), who, c.pass.Fset.Position(di.pos))
+		case dkHandoff:
+			c.reportf(pos, "packet %q handed off twice (to %s, but already handed off to %s at %s)",
+				obj.Name(), who, di.who, c.pass.Fset.Position(di.pos))
+		default:
+			c.reportf(pos, "packet %q handed off to %s after being stored (%s at %s)",
+				obj.Name(), who, di.who, c.pass.Fset.Position(di.pos))
+		}
+	}
+	delete(st.owned, obj)
+	if !deferred {
+		if _, ok := st.dead[obj]; !ok {
+			st.dead[obj] = &deadInfo{kind: dkHandoff, pos: pos, who: who, chain: chain}
+		}
+	}
+	if i, ok := c.frame.paramIdx[obj]; ok {
+		c.frame.sum.setParam(i, mode, chain)
+	}
+}
+
+// storeEvent handles a direct escape: field/element assignment, channel
+// send, append, composite literal.
+func (c *checker) storeEvent(obj types.Object, pos token.Pos, noun string, st *ownState) {
+	delete(st.owned, obj)
+	if _, ok := st.dead[obj]; !ok {
+		st.dead[obj] = &deadInfo{kind: dkStored, pos: pos, who: noun}
+	}
+	if i, ok := c.frame.paramIdx[obj]; ok {
+		c.frame.sum.setParam(i, ModeStores, noun)
+	}
+}
+
+// rebind clears a variable's state on assignment; overwriting a
+// still-owned packet is a leak.
+func (c *checker) rebind(obj types.Object, pos token.Pos, st *ownState) {
+	if oi, ok := st.owned[obj]; ok {
+		c.reportf(pos, "packet %q obtained from %s at %s is overwritten before being released, returned, or stored (leak)",
+			obj.Name(), oi.src, c.pass.Fset.Position(oi.pos))
+		delete(st.owned, obj)
+	}
+	delete(st.dead, obj)
+}
+
+// ---- condition idioms ---------------------------------------------------
+
+type enqMatch struct {
+	obj   types.Object
+	pos   token.Pos
+	who   string
+	chain string
+	neg   bool
+}
+
+// enqueueCond matches `q.Enqueue(p)` / `!q.Enqueue(p)` where the callee
+// summary says the packet parameter is enqueues-mode. On a match it
+// performs the non-transferring reads (receiver, other args, p itself)
+// and returns the transfer for the caller to apply to the success branch.
+func (c *checker) enqueueCond(cond ast.Expr, st *ownState) *enqMatch {
+	e := unparen(cond)
+	neg := false
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		neg = true
+		e = unparen(u.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := c.calleeFunc(call)
+	sum := c.summaryFor(fn)
+	if sum == nil {
+		return nil
+	}
+	sig, _ := c.pass.TypeOf(call.Fun).(*types.Signature)
+	for i, a := range call.Args {
+		pi, _ := paramAt(sig, i)
+		ps, ok := sum.Params[pi]
+		if !ok || ps.Mode != ModeEnqueues {
+			continue
+		}
+		obj := c.trackedArg(a)
+		if obj == nil {
+			continue
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			c.checkExpr(sel.X, st)
+		}
+		for j, b := range call.Args {
+			if j != i {
+				c.checkExpr(b, st)
+			}
+		}
+		c.noteRead(a.Pos(), obj, st)
+		return &enqMatch{
+			obj:   obj,
+			pos:   call.Pos(),
+			who:   fmt.Sprintf("%q", fn.Name()),
+			chain: composeChain(fn.Name(), ps.Chain),
+			neg:   neg,
+		}
+	}
+	return nil
+}
+
+type nilMatch struct {
+	obj types.Object
+	eq  bool // p == nil (true) vs p != nil (false)
+}
+
+// nilCond matches `p == nil` / `p != nil` on a tracked packet variable.
+func (c *checker) nilCond(cond ast.Expr) *nilMatch {
+	b, ok := unparen(cond).(*ast.BinaryExpr)
+	if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+		return nil
+	}
+	for _, pair := range [2][2]ast.Expr{{b.X, b.Y}, {b.Y, b.X}} {
+		obj := c.trackedArg(pair[0])
+		if obj == nil {
+			continue
+		}
+		if id, ok := unparen(pair[1]).(*ast.Ident); ok && id.Name == "nil" {
+			return &nilMatch{obj: obj, eq: b.Op == token.EQL}
+		}
+	}
+	return nil
+}
+
+// ---- resolution helpers -------------------------------------------------
+
+// trackedArg returns the object when e is a plain identifier naming a
+// *packet.Packet variable.
+func (c *checker) trackedArg(e ast.Expr) types.Object {
+	if e == nil {
+		return nil
+	}
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := c.pass.ObjectOf(id)
+	if v, ok := obj.(*types.Var); ok && isPacketPtr(v.Type()) {
+		return obj
+	}
+	return nil
+}
+
+func isPacketVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && isPacketPtr(v.Type())
+}
+
+// releaseArg returns the packet variable being released if call is
+// pool.Put(p) on an internal/packet.Pool, else nil.
+func (c *checker) releaseArg(call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 {
+		return nil
+	}
+	fn, ok := c.pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || !poolMethod(fn, "Put") {
+		return nil
+	}
+	return c.trackedArg(call.Args[0])
+}
+
+// isPoolGet matches pool.Get().
+func (c *checker) isPoolGet(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" || len(call.Args) != 0 {
+		return false
+	}
+	fn, ok := c.pass.ObjectOf(sel.Sel).(*types.Func)
+	return ok && poolMethod(fn, "Get")
+}
+
+// freshResults returns result index → provenance for calls whose results
+// carry ownership to the caller, or nil.
+func (c *checker) freshResults(call *ast.CallExpr) map[int]string {
+	if c.isPoolGet(call) {
+		return map[int]string{0: "Pool.Get"}
+	}
+	fn := c.calleeFunc(call)
+	sum := c.summaryFor(fn)
+	if sum == nil || len(sum.Fresh) == 0 {
+		return nil
+	}
+	out := make(map[int]string, len(sum.Fresh))
+	for i := range sum.Fresh {
+		out[i] = fmt.Sprintf("%q", fn.Name())
+	}
+	return out
+}
+
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := c.pass.ObjectOf(f).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := c.pass.ObjectOf(f.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// calleeLabel names the callee for diagnostics, quoted.
+func (c *checker) calleeLabel(call *ast.CallExpr) string {
+	if fn := c.calleeFunc(call); fn != nil {
+		return fmt.Sprintf("%q", fn.Name())
+	}
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fmt.Sprintf("%q", f.Name)
+	case *ast.SelectorExpr:
+		return fmt.Sprintf("%q", f.Sel.Name)
+	}
+	return "the call"
+}
+
+// paramAt maps argument index i to the parameter index and type,
+// accounting for variadics.
+func paramAt(sig *types.Signature, i int) (int, types.Type) {
+	if sig == nil || sig.Params().Len() == 0 {
+		return i, nil
+	}
+	n := sig.Params().Len()
+	if sig.Variadic() && i >= n-1 {
+		t := sig.Params().At(n - 1).Type()
+		if s, ok := t.(*types.Slice); ok {
+			t = s.Elem()
+		}
+		return n - 1, t
+	}
+	if i < n {
+		return i, sig.Params().At(i).Type()
+	}
+	return i, nil
+}
+
+func isStoreTarget(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func storeNoun(e ast.Expr) string {
+	switch e.(type) {
+	case *ast.SelectorExpr:
+		return "a field store"
+	case *ast.IndexExpr:
+		return "an element store"
+	}
+	return "a pointer store"
+}
+
+func composeChain(callee, sub string) string {
+	if sub == "" {
+		return callee
+	}
+	return callee + " → " + sub
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

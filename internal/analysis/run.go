@@ -9,10 +9,21 @@ import (
 // in its Policy) and returns the surviving diagnostics, sorted by file
 // position. Ignore directives are honoured here — malformed directives
 // (missing reason) come back as diagnostics of the "lintdirective"
-// pseudo-analyzer so they fail the gate too.
+// pseudo-analyzer, and a directive that suppresses nothing for any
+// analyzer that ran on its package comes back as "unused-directive", so
+// stale exemptions fail the gate exactly like missing ones.
+//
+// Packages are processed in dependency order (imports before importers,
+// lexicographic among independents): each analyzer owns one Summaries
+// store for the whole Run, and summary-based analyzers like pktown rely
+// on callee packages being summarised before their callers.
 func Run(pkgs []*Package, policies []Policy) ([]Diagnostic, error) {
 	var all []Diagnostic
-	for _, pkg := range pkgs {
+	summaries := make(map[*Analyzer]*Summaries, len(policies))
+	for _, pol := range policies {
+		summaries[pol.Analyzer] = NewSummaries()
+	}
+	for _, pkg := range dependencyOrder(pkgs) {
 		// Directive scan happens once per package, shared by analyzers.
 		var directives []*ignoreDirective
 		for _, f := range pkg.Files {
@@ -24,10 +35,12 @@ func Run(pkgs []*Package, policies []Policy) ([]Diagnostic, error) {
 				})
 			})...)
 		}
+		ran := make(map[string]bool, len(policies))
 		for _, pol := range policies {
 			if !pol.Polices(pkg.Path) {
 				continue
 			}
+			ran[pol.Analyzer.Name] = true
 			var raw []Diagnostic
 			pass := &Pass{
 				Analyzer:  pol.Analyzer,
@@ -35,6 +48,7 @@ func Run(pkgs []*Package, policies []Policy) ([]Diagnostic, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Summaries: summaries[pol.Analyzer],
 				diags:     &raw,
 			}
 			if err := pol.Analyzer.Run(pass); err != nil {
@@ -45,6 +59,20 @@ func Run(pkgs []*Package, policies []Policy) ([]Diagnostic, error) {
 					all = append(all, d)
 				}
 			}
+		}
+		// A directive that suppressed nothing is stale — unless it names
+		// only analyzers that did not run on this package (their policies
+		// decide scope; a fixture run with a single analyzer must not
+		// flag directives for the others).
+		for _, dir := range directives {
+			if dir.used || !dir.coversAny(ran) {
+				continue
+			}
+			all = append(all, Diagnostic{
+				Pos:      pkg.Fset.Position(dir.pos),
+				Analyzer: "unused-directive",
+				Message:  "directive suppresses no diagnostic; delete it (a stale exemption must not outlive the code it excused)",
+			})
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {
@@ -58,4 +86,46 @@ func Run(pkgs []*Package, policies []Policy) ([]Diagnostic, error) {
 		return a.Analyzer < b.Analyzer
 	})
 	return all, nil
+}
+
+// dependencyOrder returns pkgs sorted so every package follows the
+// packages it imports (restricted to the analysed set). Ties and
+// independent subgraphs resolve lexicographically by import path, so the
+// order — and therefore every summary-based analyzer's view — is
+// deterministic. The loader guarantees the module graph is acyclic.
+func dependencyOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+		paths = append(paths, p.Path)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(pkgs))
+	visited := make(map[string]bool, len(pkgs))
+	var visit func(path string)
+	visit = func(path string) {
+		if visited[path] {
+			return
+		}
+		visited[path] = true
+		p := byPath[path]
+		if p.Types != nil {
+			imps := make([]string, 0, len(p.Types.Imports()))
+			for _, imp := range p.Types.Imports() {
+				if _, ok := byPath[imp.Path()]; ok {
+					imps = append(imps, imp.Path())
+				}
+			}
+			sort.Strings(imps)
+			for _, imp := range imps {
+				visit(imp)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+	return out
 }

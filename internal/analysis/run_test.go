@@ -83,6 +83,70 @@ func TestRunSortsDiagnostics(t *testing.T) {
 	}
 }
 
+func TestRunFlagsUnusedDirectives(t *testing.T) {
+	pkg := mustParse(t, `package p
+
+//lint:ignore everyvar nothing here actually fires
+var a int
+`)
+	a := &Analyzer{Name: "everyvar", Run: func(*Pass) error { return nil }}
+	diags, err := Run([]*Package{pkg}, []Policy{{Analyzer: a, Polices: policeAll}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "unused-directive" {
+		t.Fatalf("want one unused-directive diagnostic, got %v", diags)
+	}
+	if diags[0].Pos.Line != 3 {
+		t.Fatalf("unused-directive should point at the directive line, got %v", diags[0].Pos)
+	}
+}
+
+func TestRunUnusedDirectiveSkipsAnalyzersThatDidNotRun(t *testing.T) {
+	// A directive for an analyzer whose policy excludes this package (or
+	// that is absent from the run entirely, as in single-analyzer fixture
+	// runs) must not be flagged: only its own policy can judge it.
+	pkg := mustParse(t, `package p
+
+//lint:ignore otheranalyzer justified elsewhere
+var a int
+`)
+	a := &Analyzer{Name: "everyvar", Run: func(*Pass) error { return nil }}
+	diags, err := Run([]*Package{pkg}, []Policy{{Analyzer: a, Polices: policeAll}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("directive for non-running analyzer was flagged: %v", diags)
+	}
+}
+
+func TestRunDependencyOrderSharesSummaries(t *testing.T) {
+	// Two dependency-free packages: order falls back to lexicographic, and
+	// both passes see the same Summaries store.
+	pa := mustParse(t, "package p\n")
+	pa.Path = "m/a"
+	pb := mustParse(t, "package p\n")
+	pb.Path = "m/b"
+	var order []*token.FileSet
+	var stores []*Summaries
+	a := &Analyzer{Name: "probe", Run: func(p *Pass) error {
+		order = append(order, p.Fset)
+		stores = append(stores, p.Summaries)
+		return nil
+	}}
+	// Feed packages in reverse-lexicographic order; Run must resort.
+	if _, err := Run([]*Package{pb, pa}, []Policy{{Analyzer: a, Polices: policeAll}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != pa.Fset || order[1] != pb.Fset {
+		t.Fatalf("packages not processed in lexicographic path order")
+	}
+	if stores[0] == nil || stores[0] != stores[1] {
+		t.Fatalf("analyzer did not get one shared Summaries store across packages")
+	}
+}
+
 func TestRunAppliesIgnoreDirectives(t *testing.T) {
 	pkg := mustParse(t, `package p
 

@@ -438,9 +438,9 @@ func (q *Qdisc) Enqueue(p *packet.Packet) bool {
 }
 
 func (q *Qdisc) push(target int, p *packet.Packet) {
-	q.queues[target].push(p)
 	q.bytesQueued += int(p.Size)
 	q.Stats.Enqueued++
+	q.queues[target].push(p)
 }
 
 // Dequeue serves the current round's queue and performs the egress-pipeline

@@ -131,9 +131,9 @@ func (s *Strawman) Enqueue(p *packet.Packet) bool {
 		}
 		b.tokens -= float64(p.Size)
 	}
-	s.fifo.push(p)
 	s.bytesQueued += int(p.Size)
 	s.Stats.Enqueued++
+	s.fifo.push(p)
 	return true
 }
 

@@ -22,7 +22,13 @@ import (
 // Enqueue returns false when the packet was dropped (tail drop, AQM drop, or
 // Cebinae past-tail drop). Dequeue returns nil when no packet is ready.
 type Qdisc interface {
+	// Enqueue admits p into the discipline.
+	//
+	//pktown:enqueues p on success the discipline owns the packet until Dequeue hands it back; on failure the caller keeps ownership and must release it
 	Enqueue(p *packet.Packet) bool
+	// Dequeue surrenders the next packet to the caller.
+	//
+	//pktown:fresh return a dequeued packet leaves the discipline's custody and the caller owns it
 	Dequeue() *packet.Packet
 	Len() int
 	BytesQueued() int
@@ -30,6 +36,9 @@ type Qdisc interface {
 
 // Endpoint is a transport-layer consumer registered on a host node.
 type Endpoint interface {
+	// Deliver presents an arriving packet to the transport.
+	//
+	//pktown:borrows p the node retains ownership; Deliver must not stash the pointer past its return
 	Deliver(p *packet.Packet)
 }
 
@@ -45,6 +54,9 @@ type Endpoint interface {
 // needs and release the packet to the source network's pool before
 // returning.
 type Handoff interface {
+	// Handoff transfers p to the remote runner.
+	//
+	//pktown:consumes p the handoff takes ownership — it copies what it needs and releases the packet to the source pool before returning
 	Handoff(p *packet.Packet, sent, arrival sim.Time)
 }
 
@@ -143,11 +155,11 @@ func (d *Device) transmitNext() {
 		return
 	}
 	d.busy = true
-	d.txPacket = p
 	if p.Size != d.serialiseSize {
 		d.serialiseSize = p.Size
 		d.serialiseTime = sim.Time(float64(p.Size*8) / d.rate * 1e9)
 	}
+	d.txPacket = p
 	d.node.net.Engine.ScheduleOwned(&d.txEvent, d.serialiseTime, (*deviceTxDone)(d), nil)
 }
 

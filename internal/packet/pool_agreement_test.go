@@ -1,0 +1,119 @@
+//go:build packetdebug
+
+package packet_test
+
+import (
+	"strings"
+	"testing"
+
+	"cebinae/internal/analysis/analysistest"
+	"cebinae/internal/analysis/pktown"
+	"cebinae/internal/packet"
+)
+
+// These tests pin the static pktown analyzer to the runtime packetdebug
+// guard: a shape the runtime panics on must be flagged at lint time, and
+// a shape the runtime accepts must stay diagnostic-free. The static side
+// analyses textual twins of the executed functions over a stub packet
+// package (pktown matches Pool.Put/Get structurally, so the stub stands
+// in for this package).
+
+const agreementStub = `package packet
+
+type Packet struct{ Size int64 }
+
+type Pool struct{ free []*Packet }
+
+func (pl *Pool) Get() *Packet {
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free = pl.free[:n-1]
+		return p
+	}
+	return &Packet{}
+}
+
+func (pl *Pool) Put(p *Packet) { pl.free = append(pl.free, p) }
+`
+
+// doubleFree is the bug shape: the drop path releases but does not stop,
+// so the delivery path releases again.
+func doubleFree(pl *packet.Pool, p *packet.Packet, congested bool) {
+	if congested {
+		pl.Put(p)
+	}
+	pl.Put(p)
+}
+
+const doubleFreeSrc = `package a
+
+import "packet"
+
+func doubleFree(pl *packet.Pool, p *packet.Packet, congested bool) {
+	if congested {
+		pl.Put(p)
+	}
+	pl.Put(p)
+}
+`
+
+// dropOrDeliver is the fixed shape: the drop path terminates.
+func dropOrDeliver(pl *packet.Pool, p *packet.Packet, congested bool) int64 {
+	if congested {
+		pl.Put(p)
+		return 0
+	}
+	n := int64(p.Size)
+	pl.Put(p)
+	return n
+}
+
+const dropOrDeliverSrc = `package a
+
+import "packet"
+
+func dropOrDeliver(pl *packet.Pool, p *packet.Packet, congested bool) int64 {
+	if congested {
+		pl.Put(p)
+		return 0
+	}
+	n := int64(p.Size)
+	pl.Put(p)
+	return n
+}
+`
+
+func runtimePanics(f func()) (panicked bool) {
+	defer func() { panicked = recover() != nil }()
+	f()
+	return
+}
+
+func TestPktownAgreesWithRuntimeGuardOnDoubleFree(t *testing.T) {
+	var pool packet.Pool
+	if !runtimePanics(func() { doubleFree(&pool, pool.Get(), true) }) {
+		t.Fatal("packetdebug guard did not panic on the double-free shape")
+	}
+	diags := analysistest.DiagnosticsForSource(t, pktown.Analyzer, "a", map[string]string{
+		"a": doubleFreeSrc, "packet": agreementStub,
+	})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "released twice") {
+		t.Fatalf("pktown disagrees with the runtime guard: diagnostics %v", diags)
+	}
+}
+
+func TestPktownAgreesWithRuntimeGuardOnCleanShape(t *testing.T) {
+	var pool packet.Pool
+	if runtimePanics(func() { dropOrDeliver(&pool, pool.Get(), true) }) {
+		t.Fatal("packetdebug guard panicked on the clean shape")
+	}
+	if runtimePanics(func() { dropOrDeliver(&pool, pool.Get(), false) }) {
+		t.Fatal("packetdebug guard panicked on the clean shape")
+	}
+	diags := analysistest.DiagnosticsForSource(t, pktown.Analyzer, "a", map[string]string{
+		"a": dropOrDeliverSrc, "packet": agreementStub,
+	})
+	if len(diags) != 0 {
+		t.Fatalf("pktown flags the shape the runtime guard accepts: %v", diags)
+	}
+}

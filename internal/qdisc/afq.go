@@ -73,10 +73,10 @@ func (a *AFQ) Enqueue(p *packet.Packet) bool {
 	}
 	a.sketch.UpdateMax(p.Flow, bid)
 	idx := int(slot % int64(a.NQ))
-	a.queues[idx].push(p)
 	a.queued[idx] += int(p.Size)
 	a.bytes += int(p.Size)
 	a.packets++
+	a.queues[idx].push(p)
 	return true
 }
 

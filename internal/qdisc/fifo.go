@@ -30,8 +30,8 @@ func (f *FIFO) Enqueue(p *packet.Packet) bool {
 		f.Drops++
 		return false
 	}
-	f.q.push(p)
 	f.bytes += int(p.Size)
+	f.q.push(p)
 	return true
 }
 

@@ -73,10 +73,10 @@ func (f *FQCoDel) Enqueue(p *packet.Packet) bool {
 		f.flows[p.Flow] = fl
 	}
 	p.EnqueuedAt = f.eng.Now()
-	fl.q.push(p)
 	fl.bytes += int(p.Size)
 	f.bytes += int(p.Size)
 	f.packets++
+	fl.q.push(p)
 
 	if fl.where == 0 {
 		fl.deficit = f.quantum
@@ -95,6 +95,7 @@ func (f *FQCoDel) Enqueue(p *packet.Packet) bool {
 		f.bytes -= int(dp.Size)
 		f.packets--
 		f.Drops++
+		//lint:ignore pktown pointer identity test only — the drop loop may pop back the packet just enqueued; nothing dereferences it
 		if dp == p {
 			dropped = true
 		}

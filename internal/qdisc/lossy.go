@@ -5,17 +5,28 @@ import (
 	"cebinae/internal/sim"
 )
 
+// Inner is the surface Lossy requires of the wrapped discipline — the same
+// structural subset as netem.Qdisc, declared locally so qdisc need not
+// import netem.
+type Inner interface {
+	// Enqueue admits p into the wrapped discipline.
+	//
+	//pktown:enqueues p on success the wrapped discipline owns the packet; on failure the caller keeps it
+	Enqueue(p *packet.Packet) bool
+	// Dequeue surrenders the next packet to the caller.
+	//
+	//pktown:fresh return a dequeued packet leaves the discipline's custody and the caller owns it
+	Dequeue() *packet.Packet
+	Len() int
+	BytesQueued() int
+}
+
 // Lossy wraps another discipline and drops selected packets at enqueue —
 // a fault-injection shim for exercising transport loss recovery
 // deterministically (drop the Nth data packet, a burst, or a random
 // fraction).
 type Lossy struct {
-	Inner interface {
-		Enqueue(p *packet.Packet) bool
-		Dequeue() *packet.Packet
-		Len() int
-		BytesQueued() int
-	}
+	Inner Inner
 
 	// DropSeqs drops data packets whose byte sequence number matches, the
 	// given number of times (so a value of 2 also kills the first

@@ -71,9 +71,9 @@ func (q *PCQ) Enqueue(p *packet.Packet) bool {
 	}
 	q.sketch.UpdateMax(p.Flow, bid)
 	idx := int(slot % int64(q.NQ))
-	q.queues[idx].push(p)
 	q.bytes += int(p.Size)
 	q.packets++
+	q.queues[idx].push(p)
 	return true
 }
 
