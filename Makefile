@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race race-shard speedup-smoke scenario-conformance cover bench bench-smoke benchjson report sweep clean
+.PHONY: check build vet lint test race race-shard speedup-smoke fastforward-smoke scenario-conformance cover bench bench-smoke benchjson report sweep clean
 
 check: build vet lint race
 
@@ -48,6 +48,14 @@ race-shard:
 # chain spec must not run materially slower than single-engine.
 speedup-smoke:
 	CEBINAE_SPEEDUP_SMOKE=1 $(GO) test -run 'TestShardSpeedupSmoke' -v ./internal/benchkit/
+
+# The fluid fast-forward gate: the short fluid-vs-packet differentials
+# (error bound, determinism, forced-off byte-identity) plus the 10-minute
+# scored cell, which must run ≥ 5× faster wall-clock with ≤ 1% per-flow
+# goodput error against the exact packet-level run.
+fastforward-smoke:
+	$(GO) test -run 'TestFastForward' ./experiments/ ./internal/fluid/
+	CEBINAE_FASTFORWARD_SMOKE=1 $(GO) test -run 'TestFastForwardLongHorizon' -v ./experiments/
 
 # The declarative-scenario gate (mirrors the scenario-conformance CI
 # job): canonical spec files stay byte-identical with their hand-built Go

@@ -53,8 +53,10 @@ func main() {
 		benchHeavy = flag.Bool("bench-heavy", false, "with -benchjson: also score the million-flow backbone tier (tens of seconds per op, hundreds of MB live)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		fastfwd    = flag.Bool("fastforward", false, "fluid fast-forward: skip quiescent stretches with closed-form counter advancement (single-shard fifo/fq/cebinae dumbbells only; forced off elsewhere)")
 	)
 	flag.Parse()
+	experiments.SetDefaultFastForward(*fastfwd)
 
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -134,14 +136,34 @@ func runBenchJSON(path string, heavy bool) error {
 	fmt.Fprintln(os.Stderr, "cebinae-bench: running perf suite (this takes a few minutes)")
 	snap.Current = benchkit.RunSuite(heavy)
 	for _, r := range snap.Current {
-		fmt.Fprintf(os.Stderr, "  %-24s %14.1f ns/op %10d B/op %8d allocs/op\n",
-			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		fmt.Fprintf(os.Stderr, "  %-24s %14.1f ns/op %10d B/op %8d allocs/op%s\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, metricExtras(r.Metrics))
 	}
 	out, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// metricExtras renders a benchmark's custom b.ReportMetric values (the
+// FastForward row's speedup and error bound, the grid's shard speedups)
+// for the human-readable suite listing, in sorted-key order so the
+// output is stable.
+func metricExtras(metrics map[string]float64) string {
+	if len(metrics) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(metrics))
+	for k := range metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "  %.3g %s", metrics[k], k)
+	}
+	return sb.String()
 }
 
 // scenarioSections loads each matched scenario file and packages it as a

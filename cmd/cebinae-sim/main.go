@@ -36,8 +36,10 @@ func main() {
 		shards   = flag.String("shards", "1", "engines for the run (conservative parallel sharding): a count, or \"auto\" to size to the machine; placement is min-cut partitioned either way")
 		backbone = flag.Int("backbone", 0, "run the backbone replay tier with this many standing flows (e.g. 100000) instead of the TCP dumbbell")
 		specFile = flag.String("scenario", "", "run a declarative scenario file (see scenarios/); the spec owns every knob except -shards, which overrides when given explicitly")
+		fastfwd  = flag.Bool("fastforward", false, "fluid fast-forward: skip quiescent stretches with closed-form counter advancement (single-shard fifo/fq/cebinae dumbbells only; forced off elsewhere)")
 	)
 	flag.Parse()
+	experiments.SetDefaultFastForward(*fastfwd)
 
 	nShards, err := experiments.ParseShards(*shards)
 	if err != nil {
@@ -79,6 +81,16 @@ func main() {
 		st := r.CebStats
 		fmt.Printf("cebinae: %d rotations, %d recomputes, %d phase changes, %d delayed, %d LBF drops, %d buffer drops, %d ECN marks\n",
 			st.Rotations, st.Recomputes, st.PhaseChanges, st.Delayed, st.LBFDrops, st.BufferDrops, st.ECNMarked)
+	}
+	if *fastfwd {
+		ff := r.FF
+		if ff.ForcedOff {
+			fmt.Println("fast-forward: forced off (sharded run or ineligible qdisc), exact packet-level result")
+		} else {
+			fmt.Printf("fast-forward: %d arms, %d skips, %.3fs of %.3fs skipped (%.1f%%)\n",
+				ff.Arms, ff.Skips, ff.SkippedTime.Seconds(), duration.Seconds(),
+				100*ff.SkippedTime.Seconds()/duration.Seconds())
+		}
 	}
 }
 

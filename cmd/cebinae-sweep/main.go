@@ -54,8 +54,10 @@ func main() {
 		csvPath    = flag.String("csv", "sweep.csv", "CSV summary path (empty = skip)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		fastfwd    = flag.Bool("fastforward", false, "fluid fast-forward: skip quiescent stretches with closed-form counter advancement (single-shard fifo/fq/cebinae dumbbells only; forced off elsewhere)")
 	)
 	flag.Parse()
+	experiments.SetDefaultFastForward(*fastfwd)
 
 	if err := startProfiles(*cpuprofile, *memprofile); err != nil {
 		fatal(err)

@@ -41,8 +41,11 @@ func main() {
 		interval = flag.Duration("interval", 100*time.Millisecond, "poll round interval")
 		trials   = flag.Int("trials", 10, "independent trials (seeds)")
 		deltaF   = flag.Float64("deltaf", 0.01, "⊤ threshold δf")
+
+		fastfwd = flag.Bool("fastforward", false, "fluid fast-forward: skip quiescent stretches with closed-form counter advancement (single-shard fifo/fq/cebinae dumbbells only; the churning replay path forces it off)")
 	)
 	flag.Parse()
+	experiments.SetDefaultFastForward(*fastfwd)
 
 	cfg := trace.DefaultConfig()
 	cfg.FlowsPerMinute = *flowsPerMin

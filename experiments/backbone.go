@@ -46,6 +46,10 @@ type BackboneConfig struct {
 	// ClosedLoop enables the replay congestion loop (drops and CE marks
 	// slow senders down — required for Cebinae's tax to bite).
 	ClosedLoop bool
+	// RTTSpread scatters per-flow pacing cadence by a deterministic
+	// hash of each flow record (see replay.Config.RTTSpread), modelling
+	// the RTT diversity of a real backbone population.
+	RTTSpread float64
 	// Trace is the flow schedule generator configuration.
 	Trace trace.Config
 	// Sketch / cache geometry for the cardinality stress instrumentation.
@@ -89,6 +93,7 @@ func BackboneTier(flows int, scale Scale) BackboneConfig {
 		Duration:    dur,
 		Qdisc:       Cebinae,
 		ClosedLoop:  true,
+		RTTSpread:   0.2,
 		Trace:       tc,
 		SketchRows:  4,
 		SketchCols:  1 << 16,
@@ -269,6 +274,7 @@ func RunBackbone(cfg BackboneConfig) BackboneResult {
 		PacketBytes: cfg.Trace.MeanPacketBytes,
 		ClosedLoop:  cfg.ClosedLoop,
 		ECN:         cfg.ClosedLoop,
+		RTTSpread:   cfg.RTTSpread,
 	})
 	sink := replay.NewSink(dst, replay.SinkConfig{ClosedLoop: cfg.ClosedLoop})
 

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"cebinae/internal/core"
+	"cebinae/internal/fluid"
 	"cebinae/internal/metrics"
 	"cebinae/internal/netem"
 	"cebinae/internal/packet"
@@ -94,6 +95,12 @@ type Scenario struct {
 	Groups        []FlowGroup
 	Duration      sim.Time
 	Qdisc         QdiscKind
+	// AccessBps overrides the edge-link rate (default 0: 10× the
+	// bottleneck, so edges never constrain). Setting it below
+	// BottleneckBps/N builds an access-limited dumbbell whose stationary
+	// allocation is pinned per flow — the canonical provably-quiescent
+	// cell for the fluid fast-forward differential.
+	AccessBps float64
 	// Params overrides Cebinae's parameters (nil = DefaultParams).
 	Params *core.Params
 	// MinRTO clamps each sender's retransmission timer. The default (0)
@@ -118,6 +125,17 @@ type Scenario struct {
 	// degrades gracefully when the topology cannot split as far as
 	// requested. Results are byte-identical at any shard count.
 	Shards int
+	// FastForward enables the hybrid fluid/packet accelerator
+	// (internal/fluid): when every link's rate and occupancy have been
+	// provably quiescent for a stability window, the run skips ahead in
+	// closed form between control-plane deadlines, falling back to exact
+	// packet level on any discontinuity. Off by default (false keeps
+	// every report byte-identical to the pure packet-level run); the
+	// CLIs' -fastforward flag sets the package default
+	// (SetDefaultFastForward). Fluid mode only engages on single-shard
+	// runs with a fifo/fq/cebinae bottleneck — anything else forces it
+	// off (Result.FF.ForcedOff) and runs exact.
+	FastForward bool
 }
 
 // ShardAuto, as a Scenario.Shards / SetDefaultShards value, requests a
@@ -183,6 +201,15 @@ func effectiveShards(configured int) int {
 // use — for callers that budget worker pools by cores per job.
 func ResolvedShards(configured int) int { return effectiveShards(configured) }
 
+// defaultFastForward is used when Scenario.FastForward is false; the
+// CLIs' -fastforward flag sets it (atomic for the same reason as
+// defaultShards: fleet workers read it from many goroutines).
+var defaultFastForward atomic.Bool
+
+// SetDefaultFastForward turns the fluid fast-forward accelerator on or
+// off for every scenario that does not set its own FastForward field.
+func SetDefaultFastForward(on bool) { defaultFastForward.Store(on) }
+
 // newCluster builds the partitioned cluster for the topology `build`
 // constructs. Every multi-shard request flows through the min-cut
 // partitioner: AutoPlan records the builder's construction trace against
@@ -224,7 +251,18 @@ type Result struct {
 	// CebStats is populated for Cebinae runs.
 	CebStats core.Stats
 	Events   uint64
+	// FF reports the fluid fast-forward controller's activity when the
+	// scenario requested fast-forward (zero value otherwise). ForcedOff
+	// is set when the request could not be honoured (multi-shard run or
+	// an ineligible bottleneck qdisc) and the run fell back to exact
+	// packet level. Deliberately not part of Report(), so fast-forward
+	// bookkeeping never perturbs the byte-identity contract.
+	FF FFStats
 }
+
+// FFStats mirrors fluid.Stats for Result consumers without forcing them
+// to import internal/fluid.
+type FFStats = fluid.Stats
 
 func maxRTT(groups []FlowGroup) sim.Time {
 	var m sim.Time
@@ -301,6 +339,7 @@ func Run(s Scenario) Result {
 			BottleneckBps:   s.BottleneckBps,
 			BottleneckDelay: sim.Duration(100e3),
 			RTTs:            rtts,
+			AccessBps:       s.AccessBps,
 			BottleneckQdisc: func(dev *netem.Device) netem.Qdisc {
 				// The qdisc must schedule on the engine of the shard that
 				// owns the bottleneck device.
@@ -315,6 +354,8 @@ func Run(s Scenario) Result {
 	d := build(cl)
 
 	meters := make([]*metrics.FlowMeter, len(flat))
+	conns := make([]*tcp.Conn, len(flat))
+	keys := make([]packet.FlowKey, len(flat))
 	for i, f := range flat {
 		cc, ok := tcp.NewCC(f.CC)
 		if !ok {
@@ -324,12 +365,15 @@ func Run(s Scenario) Result {
 			Src: d.Senders[i].ID, Dst: d.Receivers[i].ID,
 			SrcPort: uint16(1000 + i), DstPort: uint16(5000 + i), Proto: packet.ProtoTCP,
 		}
-		tcp.NewConn(d.Senders[i].Engine(), d.Senders[i], tcp.Config{Key: key, CC: cc, StartAt: f.StartAt, Seed: s.Seed + uint64(i), MinRTO: s.MinRTO})
+		keys[i] = key
+		conns[i] = tcp.NewConn(d.Senders[i].Engine(), d.Senders[i], tcp.Config{Key: key, CC: cc, StartAt: f.StartAt, Seed: s.Seed + uint64(i), MinRTO: s.MinRTO})
 		recv := tcp.NewReceiver(d.Receivers[i].Engine(), d.Receivers[i], tcp.ReceiverConfig{Key: key})
 		m := &metrics.FlowMeter{}
 		recv.GoodputAt = m.Record
 		meters[i] = m
 	}
+
+	ffc, ffForcedOff := setupFastForward(s, d, cq, flat, keys, conns, meters)
 
 	var sampler *stateSampler
 	if s.SampleInterval > 0 && cq != nil {
@@ -343,12 +387,20 @@ func Run(s Scenario) Result {
 			eng: beng, cq: cq, interval: s.SampleInterval,
 			states: make([]byte, 0, n),
 		}
-		beng.ArmTimer(&sampler.timer, s.SampleInterval, sampler, nil)
+		// Pinned: sample instants are measurement epochs the fluid
+		// fast-forward layer must never skip across (placement is
+		// invisible to the event stream when fast-forward is unused).
+		beng.ArmPinnedTimer(&sampler.timer, s.SampleInterval, sampler, nil)
 	}
 
 	cl.Run(s.Duration)
 
 	res := Result{Scenario: s, Events: cl.Processed()}
+	if ffc != nil {
+		res.FF = ffc.Stats()
+	} else if ffForcedOff {
+		res.FF.ForcedOff = true
+	}
 	if sampler != nil {
 		res.StateSeries = sampler.states
 	}
@@ -408,7 +460,7 @@ func (sp *stateSampler) OnEvent(any) {
 	} else {
 		sp.states = append(sp.states, 'u')
 	}
-	sp.eng.ArmTimer(&sp.timer, sp.interval, sp, nil)
+	sp.eng.ArmPinnedTimer(&sp.timer, sp.interval, sp, nil)
 }
 
 // Report flattens a Result into a canonical text form — the same kind of

@@ -41,7 +41,10 @@ func (h *cbrTick) OnEvent(any) { (*CBR)(h).tick() }
 // NewCBR creates and starts the source at startAt.
 func NewCBR(eng *sim.Engine, node *netem.Node, key packet.FlowKey, rateBps float64, startAt sim.Time) *CBR {
 	c := &CBR{eng: eng, node: node, key: key, RateBps: rateBps, PacketBytes: 1500}
-	eng.ArmTimerAt(&c.timer, startAt, (*cbrTick)(c), nil)
+	// The start instant is a traffic discontinuity: pinned so a fluid
+	// fast-forward skip can never jump across it. Per-packet re-arms in
+	// tick are regular and clear the mark.
+	eng.ArmPinnedTimerAt(&c.timer, startAt, (*cbrTick)(c), nil)
 	return c
 }
 
@@ -107,7 +110,8 @@ func NewOnOff(eng *sim.Engine, node *netem.Node, key packet.FlowKey, rateBps flo
 		MeanOn: meanOn, MeanOff: meanOff,
 		rng: sim.NewRand(seed ^ key.Hash(0x0F0F)),
 	}
-	eng.ArmTimer(&o.stateTimer, o.expDur(meanOff), (*onOffSwitch)(o), nil)
+	// ON/OFF transitions are traffic discontinuities: pinned (see CBR).
+	eng.ArmPinnedTimer(&o.stateTimer, o.expDur(meanOff), (*onOffSwitch)(o), nil)
 	return o
 }
 
@@ -123,9 +127,9 @@ func (o *OnOff) switchState() {
 	o.on = !o.on
 	if o.on {
 		o.emit()
-		o.eng.ArmTimer(&o.stateTimer, o.expDur(o.MeanOn), (*onOffSwitch)(o), nil)
+		o.eng.ArmPinnedTimer(&o.stateTimer, o.expDur(o.MeanOn), (*onOffSwitch)(o), nil)
 	} else {
-		o.eng.ArmTimer(&o.stateTimer, o.expDur(o.MeanOff), (*onOffSwitch)(o), nil)
+		o.eng.ArmPinnedTimer(&o.stateTimer, o.expDur(o.MeanOff), (*onOffSwitch)(o), nil)
 	}
 }
 
@@ -208,7 +212,8 @@ func (c *Churn) scheduleNext() {
 		return
 	}
 	gap := sim.Time(c.rng.ExpFloat64() / c.cfg.ArrivalsPerSec * 1e9)
-	c.eng.ArmTimer(&c.timer, gap, (*churnArrival)(c), nil)
+	// Poisson arrivals are traffic discontinuities: pinned (see CBR).
+	c.eng.ArmPinnedTimer(&c.timer, gap, (*churnArrival)(c), nil)
 }
 
 func (c *Churn) startFlow() {

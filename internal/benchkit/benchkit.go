@@ -204,6 +204,7 @@ func Specs() []Spec {
 		{"TimerChurn", TimerChurn},
 		{"NetemForward", NetemForward},
 		{"DumbbellE2E", DumbbellE2E},
+		{"FastForward", FastForward},
 		{ChainSpecName(1), ChainE2EShards(1)},
 		{ChainSpecName(4), ChainE2EShards(4)},
 		{"Backbone", Backbone},

@@ -1,6 +1,7 @@
 package benchkit
 
 import (
+	"flag"
 	"fmt"
 	"testing"
 
@@ -179,6 +180,53 @@ func TestBackboneSteadyStateAllocs(t *testing.T) {
 	if perPkt := allocs / perWindow; perPkt > 0.01 {
 		t.Fatalf("backbone steady state allocates %.4f objects/packet (%.1f per 1 ms window, %.0f packets), want <= 0.01",
 			perPkt, allocs, perWindow)
+	}
+}
+
+// TestRunSuiteSmoke drives the CLI's snapshot entry point (RunAll →
+// testing.Benchmark over every default spec, then the grid speedup
+// attachment) at one iteration per benchmark, so the suite plumbing is
+// exercised by `go test` and not only by `cebinae-bench -benchjson`.
+// Timing from a single iteration is meaningless and not asserted; the
+// FastForward row's error metric is timing-independent and must hold the
+// differential gate's bound even here.
+func TestRunSuiteSmoke(t *testing.T) {
+	bt := flag.Lookup("test.benchtime")
+	if bt == nil {
+		t.Fatal("test.benchtime flag not registered")
+	}
+	prev := bt.Value.String()
+	if err := flag.Set("test.benchtime", "1x"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := flag.Set("test.benchtime", prev); err != nil {
+			t.Errorf("restoring test.benchtime: %v", err)
+		}
+	}()
+
+	results := RunAll()
+	if want := len(Specs()); len(results) != want {
+		t.Fatalf("RunAll returned %d results, want %d", len(results), want)
+	}
+	byName := make(map[string]Result, len(results))
+	for _, r := range results {
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s: non-positive ns/op %v", r.Name, r.NsPerOp)
+		}
+		byName[r.Name] = r
+	}
+	ff, ok := byName["FastForward"]
+	if !ok {
+		t.Fatal("suite missing the FastForward row")
+	}
+	for _, m := range []string{"speedup", "eventsx", "errpct"} {
+		if _, ok := ff.Metrics[m]; !ok {
+			t.Errorf("FastForward row missing %q metric", m)
+		}
+	}
+	if err := ff.Metrics["errpct"]; err > 1 {
+		t.Errorf("FastForward errpct %.3f above the 1%% differential bound", err)
 	}
 }
 

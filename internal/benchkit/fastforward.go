@@ -1,0 +1,80 @@
+package benchkit
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"cebinae/experiments"
+)
+
+// ffCell is the fluid fast-forward scoring cell, kept in lockstep with
+// the experiments package's differential test: an access-limited BBR
+// dumbbell whose stationary per-flow rates are pinned by the edge links,
+// so the exact packet-level run converges and the fluid model must
+// reproduce it within the 1% per-flow bound.
+func ffCell() experiments.Scenario {
+	return experiments.Scenario{
+		Name: "ff-bench", BottleneckBps: 100e6, BufferBytes: 375000,
+		AccessBps: 20e6,
+		Groups:    []experiments.FlowGroup{{CC: "bbr", Count: 4, RTT: experiments.Millis(40)}},
+		Duration:  experiments.Seconds(120), Qdisc: experiments.Cebinae, Seed: 1,
+	}
+}
+
+// ffExact caches the exact packet-level side of the differential: it is
+// the fixed reference the accelerated runs are scored against, so one
+// measurement serves every b.N calibration round.
+var ffExact struct {
+	once sync.Once
+	res  experiments.Result
+	wall time.Duration
+}
+
+// FastForward measures the fluid fast-forward path on the scoring cell
+// and reports the derived quality metrics alongside the timing: speedup
+// (exact wall clock over accelerated wall clock), eventsx (event-count
+// reduction), and errpct (worst per-flow goodput error against the exact
+// run, in percent — the differential gate holds this ≤ 1).
+func FastForward(b *testing.B) {
+	cell := ffCell()
+	ffExact.once.Do(func() {
+		t0 := time.Now()
+		ffExact.res = experiments.Run(cell)
+		ffExact.wall = time.Since(t0)
+	})
+	ff := cell
+	ff.FastForward = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	t0 := time.Now()
+	var last experiments.Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Run(ff)
+	}
+	wall := time.Since(t0)
+	b.StopTimer()
+	b.ReportMetric(ffExact.wall.Seconds()/(wall.Seconds()/float64(b.N)), "speedup")
+	b.ReportMetric(float64(ffExact.res.Events)/float64(last.Events), "eventsx")
+	b.ReportMetric(100*ffWorstErr(ffExact.res, last), "errpct")
+}
+
+// ffWorstErr returns the worst per-flow goodput error (fraction) of the
+// accelerated run against the exact one.
+func ffWorstErr(exact, ff experiments.Result) float64 {
+	worst := 0.0
+	for i := range exact.Flows {
+		e, f := exact.Flows[i].GoodputBps, ff.Flows[i].GoodputBps
+		if e == 0 {
+			continue
+		}
+		err := (f - e) / e
+		if err < 0 {
+			err = -err
+		}
+		if err > worst {
+			worst = err
+		}
+	}
+	return worst
+}

@@ -81,6 +81,14 @@ type Qdisc struct {
 	// owning netem Device's Kick.
 	OnDrain func()
 
+	// ConfigChanges counts applied shadow configurations that actually
+	// altered the installed state (phase, ⊤ membership, or rates). The
+	// fluid fast-forward layer watches it as a discontinuity signal: a
+	// steady-state recompute re-deriving identical allocations is benign,
+	// anything else forces packet-level re-detection. Kept outside Stats
+	// so existing %+v report lines stay byte-identical.
+	ConfigChanges uint64
+
 	Stats Stats
 }
 
@@ -171,10 +179,13 @@ func (h *cebConfigure) OnEvent(arg any) {
 	(*Qdisc)(h).configure(arg.(bool))
 }
 
-// scheduleRotation arms the next ROTATE at the next dT boundary.
+// scheduleRotation arms the next ROTATE at the next dT boundary. The
+// rotation is a pinned deadline: it is the mandatory discontinuity the
+// fluid fast-forward layer must fall back to packet level for, so a
+// clock skip can never jump across it (sim.Engine.FastForward).
 func (q *Qdisc) scheduleRotation() {
 	next := (q.eng.Now()/q.params.DT + 1) * q.params.DT
-	q.eng.ArmTimerAt(&q.rotTimer, next, (*cebRotate)(q), nil)
+	q.eng.ArmPinnedTimerAt(&q.rotTimer, next, (*cebRotate)(q), nil)
 }
 
 // rotate is the ROTATE packet handler (Fig. 5 lines 9–13): retire the
@@ -209,7 +220,9 @@ func (q *Qdisc) rotate() {
 	}
 
 	recompute := q.roundsSoFar%q.params.P == 0
-	q.eng.ArmTimer(&q.cfgTimer, q.params.VDT+q.params.L, (*cebConfigure)(q), recompute)
+	// Pinned like the rotation: the configuration window must execute at
+	// packet level at its exact instant.
+	q.eng.ArmPinnedTimer(&q.cfgTimer, q.params.VDT+q.params.L, (*cebConfigure)(q), recompute)
 	q.scheduleRotation()
 	if q.OnDrain != nil {
 		q.OnDrain()
@@ -237,6 +250,9 @@ func (q *Qdisc) configure(recompute bool) {
 // reordering — §4.3).
 func (q *Qdisc) apply(cfg *pendingConfig) {
 	wasSaturated := q.saturated
+	if q.configDiffers(cfg) {
+		q.ConfigChanges++
+	}
 	q.topSet = cfg.topSet
 	if q.params.PerFlowTop {
 		q.applyPerFlow(cfg.flowRates)
@@ -257,6 +273,22 @@ func (q *Qdisc) apply(cfg *pendingConfig) {
 			q.groupBytes[groupBottom] = q.totalBytes * (1 - cfg.topShare)
 		}
 	}
+}
+
+// configDiffers reports whether installing cfg would change the visible
+// control state: the phase, the ⊤ membership, or the next round's rates.
+// The membership check is a pure set-equality test, so map iteration
+// order cannot affect the result.
+func (q *Qdisc) configDiffers(cfg *pendingConfig) bool {
+	if cfg.saturated != q.saturated || len(cfg.topSet) != len(q.topSet) {
+		return true
+	}
+	for f := range cfg.topSet {
+		if !q.topSet[f] {
+			return true
+		}
+	}
+	return cfg.rates != q.qrate[1-q.headq]
 }
 
 // recompute is the periodic (every P rounds) control-plane computation of

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"cebinae/internal/packet"
+	"cebinae/internal/sim"
+)
+
+// Fluid fast-forward support: when the engine skips a quiescent stretch
+// (internal/fluid), the Cebinae control plane keeps firing at its pinned
+// rotation/configure deadlines, but no packets traverse the data plane in
+// between. FluidAdvance replays the egress-pipeline accounting those
+// packets would have performed, so the next recompute polls a
+// heavy-hitter cache and port counter that look exactly like steady
+// traffic; ShiftTime keeps the frozen queue contents self-consistent.
+
+// FlowBytes is one flow's share of a fluid-advanced stretch, in wire
+// bytes and packets. Callers pass a deterministically ordered slice.
+type FlowBytes struct {
+	Flow    packet.FlowKey
+	Bytes   int64
+	Packets uint64
+}
+
+// FluidAdvance credits one skipped stretch's worth of steady traffic
+// through the qdisc as Enqueue and Dequeue would have, in aggregate:
+// per-flow heavy-hitter observations, the port TX counter the
+// utilisation test reads, TX stats, and the LBF byte banks (which the
+// next rotation decays by a full round's allowance — without the credit
+// they would under-run and distort the first packet-level round after
+// re-entry). The control-plane clocks (baseRoundTime/roundTime) are not
+// touched: rotations fire on their absolute schedule during skips.
+func (q *Qdisc) FluidAdvance(flows []FlowBytes) {
+	var total int64
+	var pkts uint64
+	for i := range flows {
+		f := &flows[i]
+		if f.Bytes <= 0 {
+			continue
+		}
+		q.cache.Observe(f.Flow, f.Bytes)
+		g := groupBottom
+		if q.topSet[f.Flow] {
+			g = groupTop
+		}
+		q.groupBytes[g] += float64(f.Bytes)
+		if q.params.PerFlowTop && g == groupTop {
+			if st := q.topState[f.Flow]; st != nil {
+				st.bytes += float64(f.Bytes)
+			}
+		}
+		total += f.Bytes
+		pkts += f.Packets
+	}
+	q.totalBytes += float64(total)
+	q.portTxBytes += uint64(total)
+	q.Stats.TxBytes += uint64(total)
+	q.Stats.TxPackets += pkts
+	q.Stats.Enqueued += pkts
+}
+
+// ShiftTime translates the enqueue stamps of every buffered packet by d
+// (fluid fast-forward re-entry). The LBF banks and round clocks are
+// real-time anchored — baseRoundTime advances with the pinned rotations —
+// so only the frozen packets themselves carry stale stamps.
+func (q *Qdisc) ShiftTime(d sim.Time) {
+	for i := range q.queues {
+		r := &q.queues[i]
+		for j := 0; j < r.count; j++ {
+			r.buf[(r.head+j)%len(r.buf)].ShiftTime(d)
+		}
+	}
+}

@@ -57,7 +57,10 @@ func Watch(eng *sim.Engine, dev *netem.Device, interval sim.Time) *Monitor {
 	if cq, ok := dev.Qdisc().(*core.Qdisc); ok {
 		m.ceb = cq
 	}
-	eng.ArmTimer(&m.timer, interval, (*monitorTick)(m), nil)
+	// Pinned: sample instants are measurement epochs the fluid
+	// fast-forward layer must stop at, so every sample reads counters
+	// advanced exactly to its own instant.
+	eng.ArmPinnedTimer(&m.timer, interval, (*monitorTick)(m), nil)
 	return m
 }
 
@@ -83,7 +86,7 @@ func (m *Monitor) sample() {
 		s.Delayed = m.ceb.Stats.Delayed
 	}
 	m.Samples = append(m.Samples, s)
-	m.eng.ArmTimer(&m.timer, m.interval, (*monitorTick)(m), nil)
+	m.eng.ArmPinnedTimer(&m.timer, m.interval, (*monitorTick)(m), nil)
 }
 
 // Stop ends sampling.

@@ -1,0 +1,25 @@
+package netem
+
+import "cebinae/internal/sim"
+
+// TimeShifter is implemented by queue disciplines (and other components)
+// that hold absolute virtual-time state which must translate forward when
+// the fluid fast-forward layer (internal/fluid) skips the clock.
+type TimeShifter interface {
+	ShiftTime(d sim.Time)
+}
+
+// ShiftTime translates the device's frozen absolute-time state by d: the
+// packet currently serialising on the wire and the attached qdisc's
+// buffered state, when the qdisc holds any (FIFO/FQ-CoDel/Cebinae all
+// implement TimeShifter). The transmit-completion event itself is shifted
+// by the engine (sim.Engine.FastForward); this covers only what the
+// engine cannot see.
+func (d *Device) ShiftTime(delta sim.Time) {
+	if d.txPacket != nil {
+		d.txPacket.ShiftTime(delta)
+	}
+	if s, ok := d.qdisc.(TimeShifter); ok {
+		s.ShiftTime(delta)
+	}
+}

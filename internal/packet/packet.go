@@ -141,3 +141,20 @@ func (p *Packet) HasFlag(f uint8) bool { return p.Flags&f != 0 }
 func (p *Packet) String() string {
 	return fmt.Sprintf("pkt{%s seq=%d ack=%d len=%d flags=%08b}", p.Flow, p.Seq, p.Ack, p.PayloadSize, p.Flags)
 }
+
+// ShiftTime translates the packet's absolute timestamps forward by d.
+// Used by the fluid fast-forward layer (internal/fluid): a packet frozen
+// in a queue or on the wire across a clock skip must keep its distance to
+// the clock so RTT samples and sojourn times are unperturbed. Zero-valued
+// stamps are sentinels ("never stamped") and stay zero.
+func (p *Packet) ShiftTime(d sim.Time) {
+	if p.SentAt != 0 {
+		p.SentAt += d
+	}
+	if p.EnqueuedAt != 0 {
+		p.EnqueuedAt += d
+	}
+	if p.DeliveredTimeAtSend != 0 {
+		p.DeliveredTimeAtSend += d
+	}
+}

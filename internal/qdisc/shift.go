@@ -1,0 +1,40 @@
+package qdisc
+
+import "cebinae/internal/sim"
+
+// ShiftTime translates the enqueue stamps of every buffered packet by d,
+// for the fluid fast-forward layer (internal/fluid): a queue frozen
+// across a clock skip must keep each packet's sojourn-so-far.
+func (f *FIFO) ShiftTime(d sim.Time) {
+	f.q.shiftTime(d)
+}
+
+// ShiftTime translates all absolute stamps held by the discipline by d:
+// buffered packets' enqueue stamps and each per-flow CoDel state
+// machine's deadlines. Map iteration is mutation-only (every flow gets
+// the same translation), so order cannot affect the result.
+func (f *FQCoDel) ShiftTime(d sim.Time) {
+	for _, fl := range f.flows {
+		fl.q.shiftTime(d)
+		fl.codel.shiftTime(d)
+	}
+}
+
+// shiftTime translates the CoDel dropper's absolute deadlines. Zero
+// values are "never" sentinels (not above target / never dropped) and
+// stay zero so the re-entry hysteresis window does not resurrect.
+func (c *codelState) shiftTime(d sim.Time) {
+	if c.firstAboveAt != 0 {
+		c.firstAboveAt += d
+	}
+	if c.dropNextAt != 0 {
+		c.dropNextAt += d
+	}
+}
+
+// shiftTime translates the stamps of every packet in the ring.
+func (r *ring) shiftTime(d sim.Time) {
+	for i := 0; i < r.count; i++ {
+		r.buf[(r.head+i)%len(r.buf)].ShiftTime(d)
+	}
+}

@@ -70,7 +70,21 @@ type Config struct {
 	// exceeds the schedule gap shifted left by MaxBackoff (default 6,
 	// i.e. at most 64× slower than scheduled).
 	MaxBackoff uint
+	// RTTSpread models per-flow RTT diversity in the pacing cadence:
+	// each flow's schedule gap is scaled by a deterministic factor in
+	// [1−RTTSpread, 1+RTTSpread] hashed from its own flow record, so a
+	// backbone population paces at individually offset cadences instead
+	// of all sharing the chain RTT. The factor is a pure function of
+	// flow identity — independent of shard count, placement, and
+	// admission order — so sharded runs stay byte-identical. Must be in
+	// [0, 1); zero keeps uniform schedule-rate pacing.
+	RTTSpread float64
 }
+
+// rttSpreadSeed salts the per-flow jitter hash so the pacing factor is
+// uncorrelated with other uses of the flow-key hash (sketch rows, cache
+// stages, scoring tiebreaks).
+const rttSpreadSeed = 0x52545453 // "RTTS"
 
 // SourceStats aggregates sender-side counters.
 type SourceStats struct {
@@ -146,6 +160,9 @@ func NewSource(node *netem.Node, schedule []trace.FlowSpec, cfg Config) *Source 
 	if cfg.To == 0 {
 		panic("replay: Config.To must name the destination node")
 	}
+	if cfg.RTTSpread < 0 || cfg.RTTSpread >= 1 {
+		panic(fmt.Sprintf("replay: RTTSpread %v outside [0, 1)", cfg.RTTSpread))
+	}
 	if !sort.SliceIsSorted(schedule, func(i, j int) bool { return schedule[i].At < schedule[j].At }) {
 		panic("replay: schedule must be sorted by arrival time (as trace.Flows produces)")
 	}
@@ -155,7 +172,9 @@ func NewSource(node *netem.Node, schedule []trace.FlowSpec, cfg Config) *Source 
 		node.RegisterDefault(s)
 	}
 	if len(schedule) > 0 {
-		s.eng.ArmTimerAt(&s.startTimer, schedule[0].At, (*sourceStart)(s), nil)
+		// Flow admission is a traffic discontinuity: pinned so a fluid
+		// fast-forward skip can never jump across an arrival instant.
+		s.eng.ArmPinnedTimerAt(&s.startTimer, schedule[0].At, (*sourceStart)(s), nil)
 	}
 	return s
 }
@@ -195,7 +214,7 @@ func (h *sourceStart) OnEvent(any) {
 		s.next++
 	}
 	if s.next < len(s.schedule) {
-		s.eng.ArmTimerAt(&s.startTimer, s.schedule[s.next].At, h, nil)
+		s.eng.ArmPinnedTimerAt(&s.startTimer, s.schedule[s.next].At, h, nil)
 	}
 }
 
@@ -214,6 +233,15 @@ func (s *Source) start(spec *trace.FlowSpec) {
 	fs.seq = 0
 	fs.active = true
 	fs.baseGap = spec.Lifetime / sim.Time(npkts)
+	if s.cfg.RTTSpread > 0 {
+		// Integer parts-per-million keeps the jitter exact and free of
+		// float rounding: factor = 1 − spread + hash-offset within the
+		// 2·spread span, applied to the schedule gap.
+		span := uint64(2 * s.cfg.RTTSpread * 1e6)
+		off := spec.Key.Hash(rttSpreadSeed) % (span + 1)
+		ppm := 1_000_000 - span/2 + off
+		fs.baseGap = fs.baseGap * sim.Time(ppm) / 1_000_000
+	}
 	fs.gap = fs.baseGap
 	fs.maxGap = fs.baseGap << s.cfg.MaxBackoff
 	if floor := minCutGap << s.cfg.MaxBackoff; fs.maxGap < floor {

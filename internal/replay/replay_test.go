@@ -205,6 +205,64 @@ func TestSendSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestRTTSpreadJitter checks the per-flow pacing jitter: identically
+// scheduled flows get distinct gaps scattered within the configured
+// spread, as a pure function of each flow's record (two runs agree
+// exactly), while a zero spread keeps the uniform schedule pacing.
+func TestRTTSpreadJitter(t *testing.T) {
+	const n = 64
+	gather := func(spread float64) []sim.Time {
+		c := buildChain(1e9, 1<<22)
+		var schedule []trace.FlowSpec
+		for i := 0; i < n; i++ {
+			schedule = append(schedule, spec(uint32(i+1), 0, 10_000, sim.Time(50e6)))
+		}
+		src := NewSource(c.src, schedule, Config{To: c.dst.ID, RTTSpread: spread})
+		NewSink(c.dst, SinkConfig{})
+		c.eng.RunUntil(1)
+		gaps := make([]sim.Time, n)
+		for i := range gaps {
+			gaps[i] = src.at(int32(i)).baseGap
+		}
+		return gaps
+	}
+
+	uniform := gather(0)
+	for _, g := range uniform {
+		if g != uniform[0] {
+			t.Fatalf("zero spread produced non-uniform gaps: %v", uniform)
+		}
+	}
+	base := float64(uniform[0])
+
+	jittered := gather(0.3)
+	distinct := map[sim.Time]bool{}
+	for i, g := range jittered {
+		if f := float64(g) / base; f < 0.7 || f > 1.3 {
+			t.Fatalf("flow %d gap %v is %.3f× the schedule gap, outside ±30%%", i, g, f)
+		}
+		distinct[g] = true
+	}
+	if len(distinct) < n/4 {
+		t.Fatalf("jitter barely scattered the population: %d distinct gaps over %d flows", len(distinct), n)
+	}
+	if again := gather(0.3); !slicesEqual(jittered, again) {
+		t.Fatalf("jitter not deterministic:\n%v\n%v", jittered, again)
+	}
+}
+
+func slicesEqual(a, b []sim.Time) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestConfigPanics(t *testing.T) {
 	c := buildChain(1e9, 1<<22)
 	expectPanic := func(name string, f func()) {
@@ -220,4 +278,6 @@ func TestConfigPanics(t *testing.T) {
 	expectPanic("unsorted schedule", func() {
 		NewSource(c.src, []trace.FlowSpec{spec(1, 100, 1000, 10), spec(2, 50, 1000, 10)}, Config{To: c.dst.ID})
 	})
+	expectPanic("spread ≥ 1", func() { NewSource(c.src, nil, Config{To: c.dst.ID, RTTSpread: 1}) })
+	expectPanic("negative spread", func() { NewSource(c.src, nil, Config{To: c.dst.ID, RTTSpread: -0.1}) })
 }

@@ -122,3 +122,17 @@ func (k *Sink) feedback(data *packet.Packet) {
 	k.Stats.Feedbacks++
 	k.node.Inject(fb)
 }
+
+// ShiftTime translates the per-flow feedback rate-limiter stamps by d
+// (fluid fast-forward re-entry), preserving each flow's distance to its
+// next permitted feedback. Zero means "never sent" and stays zero. The
+// map mutation is uniform across entries, so iteration order is
+// immaterial.
+func (k *Sink) ShiftTime(d sim.Time) {
+	for key, sf := range k.flows {
+		if sf.lastFeedback != 0 {
+			sf.lastFeedback += d
+			k.flows[key] = sf
+		}
+	}
+}

@@ -101,6 +101,11 @@ type Event struct {
 	// zero Event value valid as an idle ScheduleOwned event.
 	pos  int32
 	kind eventKind
+	// pinned marks a control-plane event whose deadline is an absolute
+	// commitment: FastForward refuses to skip across it and never shifts
+	// it. Pinned timers also bypass the timing wheel (fastforward.go), so
+	// every pinned deadline is visible on the heap for NextPinnedTime.
+	pinned bool
 
 	callback func()  // kindClosure
 	handler  Handler // kindPooled, kindOwned
@@ -123,6 +128,9 @@ type Engine struct {
 	free    []*Event // recycled kindPooled events
 	wheel   timerWheel
 	stopped bool
+	// horizon is the `until` of the innermost Run in progress (MaxTime for
+	// RunAll); FastForward callers use it to cap a skip at the horizon.
+	horizon Time
 	// Processed counts events dispatched since construction.
 	Processed uint64
 }
@@ -173,6 +181,16 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	ev := &Event{at: t, schedAt: e.now, seq: e.seq, kind: kindClosure, callback: fn}
 	e.seq++
 	e.heapPush(ev)
+	return ev
+}
+
+// AtPinned is At with the event marked pinned: FastForward treats its
+// deadline as a hard epoch boundary (see fastforward.go). Used for
+// control-plane moments that must be observed at their exact instant even
+// across fluid skips — e.g. a measurement-window boundary.
+func (e *Engine) AtPinned(t Time, fn func()) *Event {
+	ev := e.At(t, fn)
+	ev.pinned = true
 	return ev
 }
 
@@ -312,6 +330,7 @@ func (e *Engine) Run(until Time) Time {
 		return e.now
 	}
 	e.stopped = false
+	e.horizon = until
 	for !e.stopped {
 		// The heap top is only authoritative once every wheel slot that
 		// could hold an earlier (or same-instant, earlier-seq) timer has

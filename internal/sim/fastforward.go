@@ -1,0 +1,138 @@
+package sim
+
+// Fast-forward: the engine-level primitive behind the hybrid fluid/packet
+// mode (internal/fluid). A skip is a freeze-and-shift: the clock jumps
+// forward by d and every *non-pinned* pending event — heap events, wheel
+// timers, overflow timers — moves with it, keeping its distance to the
+// clock and its dispatch order (a uniform shift of (at, schedAt) preserves
+// the (at, schedAt, seq) total order among shifted events). The frozen
+// packet-level state thus re-enters at the far side of the skip exactly as
+// it left: in-flight transmissions, RTOs, pacing gaps, delayed ACKs all
+// resume with identical relative timing. Pinned events are the epoch
+// boundaries: they keep their absolute deadlines, bound every skip
+// (FastForward panics rather than hop one), and fire on schedule.
+//
+// Event payloads may carry absolute timestamps (a packet's SentAt, a
+// delivery-rate stamp); the caller passes shiftArg to translate those
+// forward so the frozen state stays self-consistent. Component-held
+// absolute state (TCP connection stamps, CoDel deadlines, …) is shifted by
+// the caller through per-component ShiftTime methods — the engine only
+// owns the event stream.
+
+// NextPinnedTime returns the earliest deadline among pending pinned
+// events, or MaxTime when none is pinned. Pinned timers never park in the
+// timing wheel (placeTimer), so a heap scan sees every one of them.
+func (e *Engine) NextPinnedTime() Time {
+	t := MaxTime
+	for _, ev := range e.queue {
+		if ev.pinned && ev.at < t {
+			t = ev.at
+		}
+	}
+	return t
+}
+
+// Horizon returns the `until` of the Run call currently in progress
+// (MaxTime under RunAll). Fast-forward controllers cap skips at it so a
+// windowed RunUntil driver never observes a clock past its window.
+func (e *Engine) Horizon() Time { return e.horizon }
+
+// FastForward advances the clock by d in one step, shifting every
+// non-pinned pending event with it. It must be called from within a
+// dispatching handler (or between Run windows); the caller is responsible
+// for having advanced all frozen component state across the skip. shiftArg
+// (optional) is invoked once per shifted event whose payload is non-nil —
+// for timer events the timer's payload, not the *Timer itself — so
+// payload-held absolute timestamps can be translated by +d.
+//
+// Panics if a pinned event lies strictly inside the skipped interval: the
+// caller must bound d by NextPinnedTime()-Now(). A pinned deadline exactly
+// at the skip target is legal and fires immediately after the skip.
+func (e *Engine) FastForward(d Time, shiftArg func(arg any)) {
+	if d < 0 {
+		panic("sim: FastForward with negative delta")
+	}
+	if d == 0 {
+		return
+	}
+	target := e.now + d
+
+	// Heap events: shift everything non-pinned, verify everything pinned.
+	for _, ev := range e.queue {
+		if ev.pinned {
+			if ev.at < target {
+				panic("sim: FastForward across a pinned event")
+			}
+			continue
+		}
+		ev.at += d
+		ev.schedAt += d
+		if shiftArg != nil {
+			arg := ev.arg
+			if ev.kind == kindTimer {
+				arg = ev.arg.(*Timer).arg
+			}
+			if arg != nil {
+				shiftArg(arg)
+			}
+		}
+	}
+	// The relative order of shifted events is preserved, but pinned events
+	// keep their absolute keys, so the mixed heap must be rebuilt.
+	e.heapInit()
+
+	// Wheel and overflow timers: unchain every parked timer, shift it,
+	// and re-place it against the (unchanged, monotone) slot cursors.
+	w := &e.wheel
+	if w.count > 0 {
+		var flushed *Timer
+		for l := 0; l < wheelLevels; l++ {
+			if w.occ[l] == 0 {
+				continue
+			}
+			for idx := 0; idx < wheelSlots; idx++ {
+				for t := w.slot[l][idx]; t != nil; {
+					nx := t.next
+					t.next, t.prev = flushed, nil
+					flushed = t
+					t = nx
+				}
+				w.slot[l][idx] = nil
+			}
+			w.occ[l] = 0
+		}
+		for t := w.overflow; t != nil; {
+			nx := t.next
+			t.next, t.prev = flushed, nil
+			flushed = t
+			t = nx
+		}
+		w.overflow = nil
+		w.overflowMin = MaxTime
+		w.count = 0
+		for flushed != nil {
+			t := flushed
+			flushed = t.next
+			t.next = nil
+			t.ev.at += d
+			t.ev.schedAt += d
+			if shiftArg != nil && t.arg != nil {
+				shiftArg(t.arg)
+			}
+			t.state = timerIdle
+			e.placeTimer(t)
+		}
+		w.earliest = w.scanEarliest()
+	}
+
+	e.now = target
+}
+
+// heapInit restores the heap invariant over the whole queue after a bulk
+// key mutation (FastForward). O(n).
+func (e *Engine) heapInit() {
+	q := e.queue
+	for i := (len(q) - 2) >> 2; i >= 0; i-- {
+		e.siftDown(i, q[i])
+	}
+}

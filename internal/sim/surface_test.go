@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+type surfHandler struct{ n *int }
+
+func (h surfHandler) OnEvent(any) { *h.n++ }
+
+// TestConvenienceSurfaces exercises the thin wrappers around the core
+// scheduling paths: std-duration scheduling, absolute pinned closures,
+// the next-event lower bound, and the RunUntil alias.
+func TestConvenienceSurfaces(t *testing.T) {
+	if s := Time(1.5e9).String(); s != "1.500000s" {
+		t.Fatalf("Time.String = %q", s)
+	}
+	eng := NewEngine()
+	if got := eng.NextEventTime(); got != MaxTime {
+		t.Fatalf("idle NextEventTime = %v, want MaxTime", got)
+	}
+	fired := 0
+	ev := eng.ScheduleStd(2*time.Millisecond, func() { fired++ })
+	if ev.At() != Duration(2e6) {
+		t.Fatalf("ScheduleStd deadline = %v, want 2ms", ev.At())
+	}
+	pinned := eng.AtPinned(Duration(5e6), func() { fired++ })
+	if !pinned.pinned {
+		t.Fatal("AtPinned event not marked pinned")
+	}
+	if got := eng.NextEventTime(); got != Duration(2e6) {
+		t.Fatalf("NextEventTime = %v, want the 2ms closure", got)
+	}
+	if end := eng.RunUntil(Duration(10e6)); end != Duration(10e6) || fired != 2 {
+		t.Fatalf("RunUntil ended at %v with %d firings, want 10ms and 2", end, fired)
+	}
+	if got := eng.NextEventTime(); got != MaxTime {
+		t.Fatalf("drained NextEventTime = %v, want MaxTime", got)
+	}
+}
+
+// TestAtCallFromStampAndClamp: a cross-engine injection dispatches like a
+// local event, negative fast-path delays clamp to now, and a scheduling
+// stamp after the deadline is a caller bug that must panic.
+func TestAtCallFromStampAndClamp(t *testing.T) {
+	eng := NewEngine()
+	n := 0
+	h := surfHandler{&n}
+	eng.AtCallFrom(Duration(1e6), Duration(1e3), h, nil)
+	eng.ScheduleCall(-5, h, nil)
+	eng.RunAll()
+	if n != 2 {
+		t.Fatalf("dispatched %d events, want 2", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AtCallFrom(from > t) did not panic")
+		}
+	}()
+	eng.AtCallFrom(1, 2, h, nil)
+}
+
+// TestArmPinnedTimerSurface: the relative pinned arm lands on the pinned
+// deadline index, and a negative relative arm clamps to the current
+// instant.
+func TestArmPinnedTimerSurface(t *testing.T) {
+	eng := NewEngine()
+	n := 0
+	h := surfHandler{&n}
+	var tm, tm2 Timer
+	eng.ArmPinnedTimer(&tm, Duration(3e6), h, nil)
+	if got := eng.NextPinnedTime(); got != Duration(3e6) {
+		t.Fatalf("NextPinnedTime = %v, want 3ms", got)
+	}
+	eng.ArmTimer(&tm2, -1, h, nil)
+	eng.RunAll()
+	if n != 2 {
+		t.Fatalf("fired %d timers, want 2", n)
+	}
+}

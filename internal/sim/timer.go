@@ -27,6 +27,10 @@ type Timer struct {
 
 	state uint8
 	level uint8 // wheel level while state == timerInWheel
+	// pinned mirrors ev.pinned for the armed incarnation (set by
+	// ArmPinnedTimer/ArmPinnedTimerAt, cleared by the regular arms).
+	// Pinned timers never park in the wheel — see placeTimer.
+	pinned bool
 
 	// next/prev link the timer into its wheel bucket or the overflow list.
 	next, prev *Timer
@@ -59,6 +63,31 @@ func (e *Engine) ArmTimer(t *Timer, d Time, h Handler, arg any) {
 // ArmTimerAt arms t for absolute virtual time at (clamped to now), with
 // the same re-arm semantics as ArmTimer.
 func (e *Engine) ArmTimerAt(t *Timer, at Time, h Handler, arg any) {
+	e.armTimerAt(t, at, h, arg, false)
+}
+
+// ArmPinnedTimer arms t like ArmTimer but marks the deadline pinned: a
+// hard epoch boundary that FastForward never shifts and never skips
+// across (see fastforward.go). Use it for control-plane cadences that
+// must fire at their absolute instant even while the data plane is being
+// fluid-advanced: Cebinae rotation/configure, monitor sampling, traffic
+// phase transitions, flow starts. A later regular ArmTimer on the same
+// Timer clears the mark. With fast-forward never invoked, a pinned timer
+// fires exactly where the unpinned arm would have: placement (wheel vs
+// heap) is invisible to the (at, schedAt, seq) dispatch order.
+func (e *Engine) ArmPinnedTimer(t *Timer, d Time, h Handler, arg any) {
+	if d < 0 {
+		d = 0
+	}
+	e.armTimerAt(t, e.now+d, h, arg, true)
+}
+
+// ArmPinnedTimerAt is ArmTimerAt with the pinned mark (see ArmPinnedTimer).
+func (e *Engine) ArmPinnedTimerAt(t *Timer, at Time, h Handler, arg any) {
+	e.armTimerAt(t, at, h, arg, true)
+}
+
+func (e *Engine) armTimerAt(t *Timer, at Time, h Handler, arg any, pinned bool) {
 	if t.state != timerIdle {
 		e.StopTimer(t)
 	}
@@ -69,6 +98,8 @@ func (e *Engine) ArmTimerAt(t *Timer, at Time, h Handler, arg any) {
 	t.ev.schedAt = e.now
 	t.ev.seq = e.seq
 	t.ev.kind = kindTimer
+	t.ev.pinned = pinned
+	t.pinned = pinned
 	if t.ev.arg == nil {
 		t.ev.arg = t
 	}
@@ -176,6 +207,15 @@ type timerWheel struct {
 // address its deadline, or pushes it straight onto the heap when the
 // deadline is imminent (inside an already-flushed slot).
 func (e *Engine) placeTimer(t *Timer) {
+	if t.pinned {
+		// Pinned deadlines stay on the heap so NextPinnedTime can see
+		// every one of them with a single heap scan; the wheel would hide
+		// them behind a slot-start lower bound. Dispatch order is
+		// unchanged — wheel placement is invisible to the event stream.
+		t.state = timerInHeap
+		e.heapPush(&t.ev)
+		return
+	}
 	w := &e.wheel
 	at := int64(t.ev.at)
 	for l := 0; l < wheelLevels; l++ {

@@ -177,7 +177,10 @@ func NewConn(eng *sim.Engine, src *netem.Node, cfg Config) *Conn {
 	c.Ssthresh = 1 << 40
 	src.Register(cfg.Key.Reverse(), c)
 	c.cc.Init(c)
-	eng.ArmTimerAt(&c.pacingTimer, cfg.StartAt, (*connSend)(c), nil)
+	// The flow start is pinned: it is a traffic discontinuity the fluid
+	// fast-forward layer must never skip across. Later pacing re-arms
+	// (schedulePacing) are regular and clear the mark.
+	eng.ArmPinnedTimerAt(&c.pacingTimer, cfg.StartAt, (*connSend)(c), nil)
 	return c
 }
 

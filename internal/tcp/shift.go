@@ -1,0 +1,84 @@
+package tcp
+
+import "cebinae/internal/sim"
+
+// TimeShifter is implemented by components that hold absolute virtual-time
+// stamps and must move them when the fluid fast-forward layer
+// (internal/fluid) skips the clock forward: relative intervals (RTTs,
+// pacing gaps, epochs in progress) are preserved by translating every
+// absolute stamp by the skip. Congestion-control algorithms that keep
+// absolute stamps implement it; duration-only state (srtt, baseRTT, …)
+// needs no translation.
+type TimeShifter interface {
+	ShiftTime(d sim.Time)
+}
+
+// ShiftTime translates all absolute virtual-time state held by the
+// connection by d: delivery-rate stamps, pacing release times, the
+// per-segment sent records, and the congestion controller's own stamps if
+// it holds any. The connection's pending timers (RTO, pacing, delayed
+// ACK) are shifted by the engine itself (sim.Engine.FastForward); this
+// method covers only state the engine cannot see. Zero-valued stamps are
+// "not yet set" sentinels and stay zero.
+func (c *Conn) ShiftTime(d sim.Time) {
+	if c.deliveredTime != 0 {
+		c.deliveredTime += d
+	}
+	if c.firstTxTime != 0 {
+		c.firstTxTime += d
+	}
+	if c.nextSendTime != 0 {
+		c.nextSendTime += d
+	}
+	if c.lastInjectTime != 0 {
+		c.lastInjectTime += d
+	}
+	// In-flight segment records: shifting every record by the same d
+	// keeps all pairwise deltas (and hence every future RTT and
+	// delivery-rate sample) exact, so iteration order is immaterial.
+	for _, rec := range c.sent {
+		if rec.sentAt != 0 {
+			rec.sentAt += d
+		}
+		if rec.txTimeAtTx != 0 {
+			rec.txTimeAtTx += d
+		}
+		if rec.firstTxAtTx != 0 {
+			rec.firstTxAtTx += d
+		}
+	}
+	if s, ok := c.cc.(TimeShifter); ok {
+		s.ShiftTime(d)
+	}
+}
+
+// ShiftTime implements TimeShifter: BBR keeps absolute stamps for the
+// RTprop filter window, the ProbeBW gain-cycle phase, and the ProbeRTT
+// exit deadline.
+func (b *BBR) ShiftTime(d sim.Time) {
+	if b.rtPropStamp != 0 {
+		b.rtPropStamp += d
+	}
+	if b.cycleStamp != 0 {
+		b.cycleStamp += d
+	}
+	if b.probeRTTDone != 0 {
+		b.probeRTTDone += d
+	}
+}
+
+// ShiftTime implements TimeShifter: the cubic window-growth curve is a
+// function of time since the current epoch began.
+func (cu *Cubic) ShiftTime(d sim.Time) {
+	if cu.epochAt != 0 {
+		cu.epochAt += d
+	}
+}
+
+// ShiftTime implements TimeShifter: H-TCP's additive-increase step grows
+// with time since the last loss event.
+func (h *HTCP) ShiftTime(d sim.Time) {
+	if h.lastLossAt != 0 {
+		h.lastLossAt += d
+	}
+}
